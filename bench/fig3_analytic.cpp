@@ -1,0 +1,67 @@
+// Figure 3 — analytic improvement of optimized M/S over the flat model
+// (3a) and over the M/S' alternative (3b), computed from the Section 3
+// queueing formulas on the paper's grid: lambda = 1000, p = 32,
+// mu_h = 1200, a in {2/8, 3/7, 4/6}, 1/r in {10, 20, 40, 80}.
+//
+// Paper expectation: 3a tops out around 60%; 3b around 18%. See the note
+// in model/optimize.hpp — the text-literal M/S' degenerates to the flat
+// model under processor sharing, so we print both that variant and the
+// fixed-partition reading.
+#include <cstdio>
+
+#include "model/optimize.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wsched;
+  const CliArgs args(argc, argv);
+
+  model::Workload base;
+  base.p = static_cast<int>(args.get_int("p", 32));
+  base.lambda = args.get_double("lambda", 1000);
+  base.mu_h = args.get_double("mu_h", 1200);
+
+  const std::vector<double> as = {2.0 / 8.0, 3.0 / 7.0, 4.0 / 6.0};
+  const std::vector<double> inv_rs = {10, 20, 40, 80};
+
+  std::printf("Figure 3: analytic M/S improvement, lambda=%.0f p=%d mu_h=%.0f\n\n",
+              base.lambda, base.p, base.mu_h);
+
+  Table table({"a", "1/r", "SF", "SM (m, theta)", "SM' part (m)",
+               "3a: vs flat", "3b: vs M/S' part", "vs M/S' literal"});
+  const auto points = model::figure3_grid(base, as, inv_rs);
+  for (const auto& pt : points) {
+    model::Workload w = base;
+    w.a = pt.a;
+    w.r = 1.0 / pt.inv_r;
+    const auto part = model::optimize_ms_partition(w);
+    if (!pt.feasible || !part) {
+      table.row().cell(fixed(pt.a, 2)).cell(fixed(pt.inv_r, 0)).cell("-")
+          .cell("unstable").cell("-").cell("-").cell("-").cell("-");
+      continue;
+    }
+    const auto ms = model::optimize_ms(w);
+    table.row()
+        .cell(fixed(pt.a, 2))
+        .cell(fixed(pt.inv_r, 0))
+        .cell(pt.flat_stretch, 3)
+        .cell(fixed(pt.ms_stretch, 3) + " (m=" + std::to_string(pt.best_m) +
+              ", th=" + fixed(ms->theta, 3) + ")")
+        .cell(fixed(part->stretch, 3) + " (m=" + std::to_string(part->m) +
+              ")")
+        .cell_percent(pt.improvement_vs_flat)
+        .cell_percent(part->stretch / pt.ms_stretch - 1.0)
+        .cell_percent(pt.improvement_vs_msprime);
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "\nPaper: 3a up to ~60%%; 3b up to ~18%%. The literal M/S' column\n"
+      "degenerates to the flat column (optimal k = p) under processor\n"
+      "sharing, so it reproduces 3a; the partition column shows that the\n"
+      "theta-window advantage in the *analytic* model is small — the\n"
+      "paper's M/S advantage over fixed assignment appears in the\n"
+      "trace-driven simulation (fig4), where transient idle master\n"
+      "capacity and min-RSRC dispatch matter.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// The Table 2 experiment grid shared by the fig4/fig5/table2 benches.
+//
+// "Arrival rates (lambda) are scaled in replaying to reflect various
+// workloads... the arrival rates we have examined for each trace are
+// listed in Table 2" — reconstructed from Table 2 and the Figure 5
+// caption's 12 bar groups.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/profile.hpp"
+
+namespace wsched::bench {
+
+struct TraceGrid {
+  trace::WorkloadProfile profile;
+  std::vector<double> lambdas_p32;
+  std::vector<double> lambdas_p128;
+};
+
+inline std::vector<TraceGrid> table2_grid() {
+  return {
+      {trace::ucb_profile(), {1000, 2000}, {4000, 8000}},
+      {trace::ksu_profile(), {500, 1000}, {2000, 4000}},
+      {trace::adl_profile(), {500, 1000}, {2000, 4000}},
+  };
+}
+
+/// "The average ratio of CGI processing rate to static request rate, r, is
+/// chosen to be 1/20, 1/40, 1/80, 1/160".
+inline std::vector<double> table2_inv_r() { return {20, 40, 80, 160}; }
+
+}  // namespace wsched::bench

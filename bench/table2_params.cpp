@@ -1,0 +1,68 @@
+// Table 2 — "Workload parameters examined".
+//
+// Prints the experiment grid (arrival-rate ratio a from each trace, the
+// lambda grids for the 32- and 128-node clusters, and the r sweep), plus
+// the analytic offered load each combination implies, which is how the
+// paper argues the settings create "reasonable loads" — neither too light
+// nor too heavy.
+#include <cstdio>
+
+#include "bench/grid.hpp"
+#include "model/queueing.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace wsched;
+
+  std::printf("Table 2: workload parameters examined\n\n");
+  Table table({"trace", "a (=lc/lh)", "lambda @ p=32", "lambda @ p=128",
+               "1/r sweep"});
+  for (const auto& grid : bench::table2_grid()) {
+    const double frac = grid.profile.cgi_fraction;
+    std::string l32, l128, rs;
+    for (double l : grid.lambdas_p32)
+      l32 += (l32.empty() ? "" : ", ") + fixed(l, 0);
+    for (double l : grid.lambdas_p128)
+      l128 += (l128.empty() ? "" : ", ") + fixed(l, 0);
+    for (double r : bench::table2_inv_r())
+      rs += (rs.empty() ? "" : ", ") + fixed(r, 0);
+    table.row()
+        .cell(grid.profile.name)
+        .cell(frac / (1 - frac), 3)
+        .cell(l32)
+        .cell(l128)
+        .cell(rs);
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  std::printf("\nImplied offered load (fraction of cluster capacity):\n\n");
+  Table loads({"trace", "p", "lambda", "1/r=20", "1/r=40", "1/r=80",
+               "1/r=160"});
+  for (const auto& grid : bench::table2_grid()) {
+    const double frac = grid.profile.cgi_fraction;
+    for (int p : {32, 128}) {
+      const auto& lambdas =
+          p == 32 ? grid.lambdas_p32 : grid.lambdas_p128;
+      for (double lambda : lambdas) {
+        auto& row = loads.row()
+                        .cell(grid.profile.name)
+                        .cell(static_cast<long long>(p))
+                        .cell(lambda, 0);
+        for (double inv_r : bench::table2_inv_r()) {
+          model::Workload w;
+          w.p = p;
+          w.lambda = lambda;
+          w.mu_h = 1200;
+          w.a = frac / (1 - frac);
+          w.r = 1.0 / inv_r;
+          row.cell_percent(w.offered_load() / p);
+        }
+      }
+    }
+  }
+  std::fputs(loads.str().c_str(), stdout);
+  std::printf(
+      "\nLoads above 100%% are transient-overload points: the paper sweeps\n"
+      "into saturation, which is exactly where reservation matters most.\n");
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Table 3 — "Performance improvement of M/S over other methods on a SUN
+// cluster by actual running and simulation".
+//
+// The paper validated its simulator against a 6-node Sun Ultra-1 cluster
+// (110 static req/s per node, r = 1/40, arrival rates 20/s and 40/s,
+// masters = 3/1/1 for UCB/KSU/ADL). We substitute the hardware with the
+// thread-per-node real-execution testbed (see src/testbed) and run the
+// *same trace* through the discrete-event simulator configured identically;
+// the comparison is between improvement ratios (M/S over each variant),
+// which is exactly what Table 3 tabulates. Paper: simulated and actual
+// ratios agree within a few percent, simulation slightly optimistic.
+//
+// Host scaling: the CPU duty cycle is reduced so a single-core host can
+// honestly emulate six nodes at the paper's full 20/40 req/s — see
+// TestbedConfig::cpu_duty_cycle (the duty keeps aggregate host CPU well
+// under one core while all timing stays wall-clock real). Time compression
+// shortens wall time without changing any ratio. On very weak hosts,
+// --rate-scale N additionally divides the arrival rates.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "core/experiment.hpp"
+#include "testbed/testbed.hpp"
+#include "trace/generator.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace wsched;
+
+double run_sim(const trace::Trace& trace, core::SchedulerKind kind, int m,
+               double r, double mu_h, double warmup_s,
+               std::uint64_t seed) {
+  core::ClusterConfig config;
+  config.p = 6;
+  config.m = m;
+  config.seed = seed;
+  config.warmup = from_seconds(warmup_s);
+  config.reservation.initial_r = r;
+  config.reservation.initial_a = 0.4;
+  config.initial_dynamic_demand_s = 1.0 / (r * mu_h);
+  core::ClusterSim cluster(config, core::make_dispatcher(kind, m));
+  return cluster.run(trace).metrics.stretch;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bool quick = env_flag("WSCHED_QUICK", false) ||
+                     args.get_bool("quick", false);
+  const double rate_scale = args.get_double("rate-scale", 1.0);
+  const double duration = args.get_double("duration", quick ? 15.0 : 24.0);
+  // Median over replications: a single real-execution run can absorb a
+  // host-level hiccup that inflates its stretch by tens of percent.
+  const int reps = static_cast<int>(args.get_int("reps", 3));
+  const double compression = args.get_double("compression", 2.0);
+  const double duty = args.get_double("duty", 0.125);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 1999));
+  const double mu_h = 110.0;  // Sun Ultra 1, SPECweb96 (paper §5.2.2)
+  const double r = 1.0 / 40.0;
+
+  const std::map<std::string, int> masters = {
+      {"UCB", 3}, {"KSU", 1}, {"ADL", 1}};  // paper's choices
+
+  std::vector<double> rates = {20.0 / rate_scale, 40.0 / rate_scale};
+  if (quick) rates = {20.0 / rate_scale};
+  // --only-rate 20|40 runs a single rate (useful for splitting the long
+  // real-execution sweep across wall-clock budgets).
+  if (args.has("only-rate"))
+    rates = {args.get_double("only-rate", 20.0) / rate_scale};
+
+  std::printf("Table 3: M/S improvement over other methods — real execution "
+              "(testbed) vs simulation\n");
+  std::printf("6 nodes, mu_h=%.0f, r=1/40, rates %.1f/%.1f req/s "
+              "(paper's 20/40 scaled by 1/%.0f for the host), "
+              "compression %.0fx, duty %.3f\n\n",
+              mu_h, rates.front(), rates.back(), rate_scale, compression,
+              duty);
+
+  Table table({"trace, rate", "M/S vs M/S-1", "", "M/S vs M/S-ns", "",
+               "M/S vs M/S-nr", ""});
+  table.row().cell("").cell("Actual").cell("Simu").cell("Actual").cell(
+      "Simu").cell("Actual").cell("Simu");
+
+  RunningStats differences;
+
+  for (const auto& profile : trace::experiment_profiles()) {
+    for (double rate : rates) {
+      trace::GeneratorConfig gen;
+      gen.profile = profile;
+      gen.lambda = rate;
+      gen.duration_s = duration;
+      gen.mu_h = mu_h;
+      gen.r = r;
+      gen.seed = seed;
+      const trace::Trace trace_data = trace::generate(gen);
+      const int m = masters.at(profile.name);
+
+      testbed::TestbedConfig tb;
+      tb.p = 6;
+      tb.m = m;
+      tb.time_compression = compression;
+      tb.cpu_duty_cycle = duty;
+      tb.initial_r = r;
+      tb.initial_a = profile.cgi_fraction / (1 - profile.cgi_fraction);
+      tb.seed = seed;
+
+      const auto variants = {core::SchedulerKind::kMs,
+                             core::SchedulerKind::kMs1,
+                             core::SchedulerKind::kMsNs,
+                             core::SchedulerKind::kMsNr};
+      std::map<core::SchedulerKind, double> actual, simulated;
+      for (const auto kind : variants) {
+        std::vector<double> stretches;
+        for (int rep = 0; rep < reps; ++rep) {
+          tb.seed = seed + static_cast<std::uint64_t>(rep) * 101;
+          stretches.push_back(
+              testbed::run_testbed(tb, kind, trace_data).metrics.stretch);
+        }
+        std::sort(stretches.begin(), stretches.end());
+        actual[kind] = stretches[stretches.size() / 2];
+        simulated[kind] = run_sim(trace_data, kind, m, r, mu_h,
+                                  0.1 * duration, seed);
+        std::fflush(stdout);
+      }
+
+      auto improvement = [](double variant, double ms) {
+        return ms > 0 ? variant / ms - 1.0 : 0.0;
+      };
+      auto& row = table.row().cell(
+          profile.name + std::string(", ") +
+          fixed(rate * rate_scale, 0) + "/s");
+      for (const auto kind : {core::SchedulerKind::kMs1,
+                              core::SchedulerKind::kMsNs,
+                              core::SchedulerKind::kMsNr}) {
+        const double act =
+            improvement(actual[kind], actual[core::SchedulerKind::kMs]);
+        const double sim = improvement(
+            simulated[kind], simulated[core::SchedulerKind::kMs]);
+        differences.add(std::abs(act - sim));
+        row.cell_percent(act).cell_percent(sim);
+      }
+    }
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf("\nMean |Actual - Simu| difference: %s "
+              "(paper: ~3%%, simulation slightly optimistic)\n",
+              percent(differences.mean()).c_str());
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Extending the library with a custom dispatch policy.
+//
+// The core::Dispatcher interface is the library's extension point: anything
+// that can map (request, cluster view) -> node can be evaluated against the
+// paper's schedulers on identical traces. This example implements two
+// classic alternatives and races them against the paper's M/S and the flat
+// baseline on a CGI-heavy workload:
+//
+//   * RoundRobin  — next node in line, ignoring load entirely.
+//   * PowerOfTwo  — sample two random nodes, send the request to the less
+//                   loaded one (Mitzenmacher's power of two choices, which
+//                   postdates the paper but is the canonical fix for
+//                   stale-information herding).
+#include <cstdio>
+#include <memory>
+
+#include "core/cluster.hpp"
+#include "core/experiment.hpp"
+#include "core/rsrc.hpp"
+#include "trace/generator.hpp"
+#include "trace/profile.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace wsched;
+
+class RoundRobinDispatcher final : public core::Dispatcher {
+ public:
+  core::Decision route(const trace::TraceRecord&,
+                       core::ClusterView& view) override {
+    const int node = next_++ % view.p;
+    return core::Decision{node, false, -1.0, node};
+  }
+  std::string name() const override { return "RoundRobin"; }
+
+ private:
+  int next_ = 0;
+};
+
+class PowerOfTwoDispatcher final : public core::Dispatcher {
+ public:
+  core::Decision route(const trace::TraceRecord& request,
+                       core::ClusterView& view) override {
+    const int a = static_cast<int>(view.rng->uniform_int(view.p));
+    const int b = static_cast<int>(view.rng->uniform_int(view.p));
+    const auto& load = view.load_seen_by(a);
+    const double w = request.cpu_fraction;
+    const int node = core::rsrc_cost(w, load[static_cast<std::size_t>(a)]) <=
+                             core::rsrc_cost(w, load[static_cast<std::size_t>(b)])
+                         ? a
+                         : b;
+    // The chosen node differs from the receiver half the time; dynamic
+    // requests then pay the remote dispatch latency like any redirect.
+    return core::Decision{node, node != a, w, a};
+  }
+  std::string name() const override { return "PowerOfTwo"; }
+};
+
+double run_policy(std::unique_ptr<core::Dispatcher> dispatcher, int m,
+                  const trace::Trace& trace) {
+  core::ClusterConfig config;
+  config.p = 16;
+  config.m = m;
+  config.seed = 7;
+  config.warmup = 2 * kSecond;
+  config.reservation.initial_r = 1.0 / 40.0;
+  config.reservation.initial_a = 0.41;
+  config.initial_dynamic_demand_s = 40.0 / 1200.0;
+  core::ClusterSim cluster(config, std::move(dispatcher));
+  return cluster.run(trace).metrics.stretch;
+}
+
+}  // namespace
+
+void race(const char* label, const trace::WorkloadProfile& profile,
+          double lambda, double r, bool bursty) {
+  trace::GeneratorConfig gen;
+  gen.profile = profile;
+  gen.lambda = lambda;
+  gen.duration_s = 10.0;
+  gen.r = r;
+  gen.seed = 7;
+  gen.bursty = bursty;
+  const trace::Trace trace = trace::generate(gen);
+  std::printf("%s: %s profile, lambda=%.0f, 1/r=%.0f%s, 16 nodes\n", label,
+              profile.name.c_str(), lambda, 1.0 / r,
+              bursty ? ", bursty arrivals" : "");
+
+  // Size the master pool once with Theorem 1 so M/S gets its fair setup.
+  core::ExperimentSpec spec;
+  spec.profile = gen.profile;
+  spec.p = 16;
+  spec.lambda = gen.lambda;
+  spec.r = gen.r;
+  const int m = core::masters_from_theorem(core::analytic_workload(spec));
+
+  wsched::Table table({"policy", "mean stretch"});
+  table.row().cell("M/S (paper)").cell(
+      run_policy(core::make_ms(), m, trace), 3);
+  table.row().cell("Flat (random)").cell(
+      run_policy(core::make_flat(), m, trace), 3);
+  table.row().cell("RoundRobin").cell(
+      run_policy(std::make_unique<RoundRobinDispatcher>(), m, trace), 3);
+  table.row().cell("PowerOfTwo").cell(
+      run_policy(std::make_unique<PowerOfTwoDispatcher>(), m, trace), 3);
+  std::fputs(table.str().c_str(), stdout);
+  std::printf("\n");
+}
+
+int main() {
+  // Moderate, smooth load: with homogeneous nodes and iid demands, dumb
+  // round-robin is a formidable baseline — worth knowing before shipping a
+  // clever dispatcher.
+  race("Scenario 1", trace::ksu_profile(), 600, 1.0 / 40.0, false);
+  // Hot, bursty, disk-heavy load: class separation and load awareness now
+  // earn their keep; blind spreading mixes file fetches into CGI queues.
+  race("Scenario 2", trace::adl_profile(), 500, 1.0 / 80.0, true);
+  std::printf(
+      "Lower is better; 1.0 means every request ran as if alone.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Trace generation / inspection workbench.
+//
+// Generates a synthetic workload for any of the paper's trace profiles,
+// prints its Table-1-style characteristics, sketches the arrival and
+// service-demand distributions, and optionally saves the trace as CSV for
+// replay by other tools (or reloads and verifies a previously saved one).
+//
+// Usage:
+//   trace_workbench --profile ksu --lambda 800 --duration 20 [--bursty]
+//                   [--save /tmp/ksu.csv] [--load /tmp/ksu.csv]
+#include <cstdio>
+
+#include "trace/generator.hpp"
+#include "trace/profile.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/trace_stats.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wsched;
+  const CliArgs args(argc, argv);
+
+  trace::Trace t;
+  if (args.has("load")) {
+    const std::string path = args.get("load", "");
+    t = trace::load_trace_file(path);
+    std::printf("Loaded %zu records from %s\n\n", t.size(), path.c_str());
+  } else {
+    trace::GeneratorConfig config;
+    config.profile = trace::profile_by_name(args.get("profile", "ksu"));
+    config.lambda = args.get_double("lambda", 800);
+    config.duration_s = args.get_double("duration", 20);
+    config.r = 1.0 / args.get_double("inv-r", 40);
+    config.mu_h = args.get_double("mu_h", 1200);
+    config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    config.bursty = args.get_bool("bursty", false);
+    t = trace::generate(config);
+    std::printf("Generated %zu requests (%s profile, lambda=%.0f%s)\n\n",
+                t.size(), config.profile.name.c_str(), config.lambda,
+                config.bursty ? ", bursty" : "");
+  }
+
+  const trace::TraceStats stats = trace::compute_stats(t);
+  Table table({"metric", "value"});
+  table.row().cell("requests").cell(static_cast<long long>(stats.requests));
+  table.row().cell("dynamic fraction").cell_percent(stats.cgi_fraction);
+  table.row().cell("arrival rate (req/s)").cell(stats.arrival_rate, 1);
+  table.row().cell("a = lambda_c/lambda_h").cell(stats.a_ratio, 3);
+  table.row().cell("mean HTML bytes").cell(stats.mean_html_bytes, 0);
+  table.row().cell("mean CGI bytes").cell(stats.mean_cgi_bytes, 0);
+  table.row().cell("mean static demand (ms)").cell(
+      stats.mean_static_demand_s * 1e3, 3);
+  table.row().cell("mean dynamic demand (ms)").cell(
+      stats.mean_dynamic_demand_s * 1e3, 2);
+  table.row().cell("r-hat (static/dynamic)").cell(stats.r_ratio, 4);
+  table.row().cell("dynamic demand CV").cell(stats.dynamic_demand_cv, 2);
+  std::fputs(table.str().c_str(), stdout);
+
+  // Arrival burstiness sketch: requests per second.
+  std::printf("\nArrivals per second:\n");
+  Histogram arrivals(0, stats.span_s + 1, static_cast<std::size_t>(
+                                              stats.span_s) + 1);
+  for (const auto& rec : t.records) arrivals.add(to_seconds(rec.arrival));
+  RunningStats per_second;
+  for (std::size_t b = 0; b < arrivals.bins(); ++b)
+    per_second.add(static_cast<double>(arrivals.bin_count(b)));
+  std::printf("  mean %.1f, min %.0f, max %.0f, stddev %.1f\n",
+              per_second.mean(), per_second.min(), per_second.max(),
+              per_second.stddev());
+
+  // Dynamic service demand histogram (log-ish buckets via ascii sketch).
+  std::printf("\nDynamic service demand (ms):\n");
+  Histogram demands(0, 4e3 * stats.mean_dynamic_demand_s, 20);
+  for (const auto& rec : t.records)
+    if (rec.is_dynamic()) demands.add(to_seconds(rec.service_demand) * 1e3);
+  std::fputs(demands.ascii(48).c_str(), stdout);
+
+  if (args.has("save")) {
+    const std::string path = args.get("save", "");
+    trace::save_trace_file(path, t);
+    std::printf("\nSaved to %s\n", path.c_str());
+  }
+  return 0;
+}

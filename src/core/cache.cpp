@@ -1,0 +1,40 @@
+#include "core/cache.hpp"
+
+namespace wsched::core {
+
+CgiCache::CgiCache(std::size_t capacity, Time ttl)
+    : capacity_(capacity), ttl_(ttl) {}
+
+bool CgiCache::lookup(std::uint64_t url, Time now) {
+  if (capacity_ == 0 || url == 0) return false;
+  ++lookups_;
+  const auto it = map_.find(url);
+  if (it == map_.end()) return false;
+  if (now - it->second->stored_at > ttl_) {
+    lru_.erase(it->second);
+    map_.erase(it);
+    return false;
+  }
+  // Refresh recency.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return true;
+}
+
+void CgiCache::insert(std::uint64_t url, Time now) {
+  if (capacity_ == 0 || url == 0) return;
+  const auto it = map_.find(url);
+  if (it != map_.end()) {
+    it->second->stored_at = now;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back().url);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{url, now});
+  map_[url] = lru_.begin();
+}
+
+}  // namespace wsched::core

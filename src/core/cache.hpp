@@ -1,0 +1,61 @@
+// Dynamic-content (CGI) result caching — the Swala extension the paper
+// points to ("Web caching for dynamic content is possible if content is not
+// changed frequently and this issue is studied in our Swala Web server...
+// a simple extension to consider caching in our scheme can be
+// incorporated", §6).
+//
+// Each master keeps an LRU cache of recently generated dynamic responses
+// keyed by content identity (TraceRecord::url_id). A hit short-circuits the
+// CGI execution: the receiving master serves the stored response like a
+// file fetch. Entries expire after a TTL because dynamic content goes
+// stale.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "util/time.hpp"
+
+namespace wsched::core {
+
+class CgiCache {
+ public:
+  /// capacity = maximum live entries (0 disables the cache entirely);
+  /// ttl = validity window for an entry.
+  CgiCache(std::size_t capacity, Time ttl);
+
+  /// True when `url` is cached and fresh at `now`; refreshes LRU recency
+  /// on a hit, evicts the entry if expired. Counts hit/miss statistics.
+  bool lookup(std::uint64_t url, Time now);
+
+  /// Records a freshly generated response (refreshes the timestamp if the
+  /// entry already exists). Evicts the least recently used entry on
+  /// overflow. No-op when the cache is disabled or url == 0.
+  void insert(std::uint64_t url, Time now);
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t lookups() const { return lookups_; }
+  double hit_ratio() const {
+    return lookups_ ? static_cast<double>(hits_) /
+                          static_cast<double>(lookups_)
+                    : 0.0;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t url;
+    Time stored_at;
+  };
+
+  std::size_t capacity_;
+  Time ttl_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t lookups_ = 0;
+};
+
+}  // namespace wsched::core

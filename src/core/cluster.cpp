@@ -1,0 +1,195 @@
+#include "core/cluster.hpp"
+
+#include <stdexcept>
+
+#include "core/cache.hpp"
+#include "util/rng.hpp"
+
+namespace wsched::core {
+
+ClusterSim::ClusterSim(ClusterConfig config,
+                       std::unique_ptr<Dispatcher> dispatcher)
+    : config_(std::move(config)), dispatcher_(std::move(dispatcher)) {
+  if (config_.p < 1) throw std::invalid_argument("cluster: p must be >= 1");
+  if (config_.m < 1 || config_.m > config_.p)
+    throw std::invalid_argument("cluster: need 1 <= m <= p");
+  if (!config_.node_params.empty() &&
+      config_.node_params.size() != static_cast<std::size_t>(config_.p))
+    throw std::invalid_argument("cluster: node_params size mismatch");
+  if (dispatcher_ == nullptr)
+    throw std::invalid_argument("cluster: dispatcher required");
+}
+
+RunResult ClusterSim::run(const trace::Trace& trace) {
+  if (trace.records.empty()) return RunResult{};
+  sim::Engine engine;
+
+  std::vector<std::unique_ptr<sim::Node>> nodes;
+  nodes.reserve(static_cast<std::size_t>(config_.p));
+  std::vector<sim::Node*> node_ptrs;
+  for (int i = 0; i < config_.p; ++i) {
+    const sim::NodeParams params =
+        config_.node_params.empty()
+            ? sim::NodeParams{}
+            : config_.node_params[static_cast<std::size_t>(i)];
+    nodes.push_back(
+        std::make_unique<sim::Node>(engine, config_.os, params, i));
+    node_ptrs.push_back(nodes.back().get());
+  }
+
+  LoadMonitor monitor(engine, node_ptrs, config_.load_sample_period);
+  // One dispatch-knowledge instance per potential receiver: a master only
+  // sees the shared periodic sample plus its own recent redirections.
+  std::vector<DispatchFeedback> feedbacks(
+      static_cast<std::size_t>(config_.p),
+      DispatchFeedback(static_cast<std::size_t>(config_.p),
+                       config_.load_sample_period,
+                       config_.initial_dynamic_demand_s));
+  monitor.set_on_sample([&] {
+    for (auto& feedback : feedbacks) feedback.on_sample(monitor.all());
+  });
+  ReservationConfig res_cfg = config_.reservation;
+  res_cfg.p = config_.p;
+  res_cfg.m = config_.m;
+  ReservationController reservation(res_cfg);
+
+  // One CGI result cache per potential receiver (the Swala extension).
+  const bool cache_on = config_.cgi_cache_entries > 0;
+  std::vector<CgiCache> caches(
+      static_cast<std::size_t>(config_.p),
+      CgiCache(config_.cgi_cache_entries, config_.cgi_cache_ttl));
+
+  Rng dispatch_rng(config_.seed, 0xD15);
+  ClusterView view;
+  view.load = &monitor.all();
+  if (config_.use_dispatch_feedback) view.feedbacks = &feedbacks;
+  if (!config_.node_params.empty()) view.node_params = &config_.node_params;
+  view.p = config_.p;
+  view.m = config_.m;
+  view.reservation = &reservation;
+  view.rng = &dispatch_rng;
+
+  MetricsCollector metrics(config_.warmup, config_.os.fork_overhead);
+
+  std::uint64_t remaining = trace.records.size();
+  RunResult result;
+  result.submitted = trace.records.size();
+
+  for (auto& node : nodes) {
+    node->set_completion_callback(
+        [&](const sim::Job& job, Time completion) {
+          metrics.record(job, completion);
+          reservation.record_completion(job.request.is_dynamic(),
+                                        completion - job.cluster_arrival);
+          if (job.request.is_dynamic()) {
+            for (auto& feedback : feedbacks)
+              feedback.note_dynamic_demand(job.request.service_demand);
+            if (cache_on)
+              caches[static_cast<std::size_t>(job.receiver)].insert(
+                  job.request.url_id, completion);
+          }
+          if (--remaining == 0) engine.stop();
+        });
+  }
+
+  monitor.start();
+
+  // Periodic theta'_2 recomputation, running as long as work remains.
+  std::function<void()> reservation_tick = [&] {
+    reservation.update();
+    if (remaining > 0)
+      engine.schedule_after(config_.reservation_update_period,
+                            reservation_tick);
+  };
+  engine.schedule_after(config_.reservation_update_period, reservation_tick);
+
+  // Arrival cursor: submits record i, then schedules record i+1. Keeps the
+  // event heap small regardless of trace length.
+  std::uint64_t next_id = 1;
+  std::size_t cursor = 0;
+  std::function<void()> deliver = [&] {
+    const trace::TraceRecord& rec = trace.records[cursor];
+    Decision decision = dispatcher_->route(rec, view);
+    if (decision.node < 0 || decision.node >= config_.p)
+      throw std::out_of_range("dispatcher routed outside the cluster");
+    sim::Job job;
+    job.id = next_id++;
+    job.request = rec;
+    job.cluster_arrival = engine.now();
+    job.receiver = decision.receiver;
+
+    // CGI-cache extension: the receiving master can serve a fresh cached
+    // response as a plain file fetch, bypassing CGI execution entirely.
+    bool cache_hit = false;
+    if (cache_on && rec.is_dynamic() &&
+        caches[static_cast<std::size_t>(decision.receiver)].lookup(
+            rec.url_id, engine.now())) {
+      cache_hit = true;
+      decision.node = decision.receiver;
+      decision.remote = false;
+      decision.rsrc_w = -1.0;
+      job.request.cls = trace::RequestClass::kStatic;
+      // Serve cost of the stored response: same size-coupled model the
+      // generator uses for files (15027 bytes is the SPECweb96 mix mean).
+      job.request.service_demand = from_seconds(
+          (0.3 + 0.7 * rec.size_bytes / 15027.0) / config_.cache_hit_mu);
+      job.request.cpu_fraction = 0.4;
+      job.request.mem_pages =
+          rec.size_bytes / config_.os.page_bytes + 1;
+    }
+    job.remote = decision.remote;
+    if (!cache_hit && decision.rsrc_w >= 0.0 && rec.is_dynamic())
+      feedbacks[static_cast<std::size_t>(decision.receiver)].on_dispatch(
+          static_cast<std::size_t>(decision.node), decision.rsrc_w);
+    sim::Node* target = node_ptrs[static_cast<std::size_t>(decision.node)];
+    if (decision.remote && rec.is_dynamic()) {
+      engine.schedule_after(config_.os.remote_cgi_latency,
+                            [target, job] { target->submit(job); });
+    } else {
+      target->submit(job);
+    }
+    ++cursor;
+    if (cursor < trace.records.size())
+      engine.schedule_at(trace.records[cursor].arrival, deliver);
+  };
+  if (!trace.records.empty())
+    engine.schedule_at(trace.records.front().arrival, deliver);
+
+  engine.run();
+
+  result.metrics = metrics.summary();
+  result.events = engine.events_processed();
+  result.sim_seconds = to_seconds(engine.now());
+  result.completed = trace.records.size() - remaining;
+  const Time end = engine.now();
+  result.node_cpu_utilization.reserve(nodes.size());
+  result.node_disk_utilization.reserve(nodes.size());
+  double cpu_sum = 0.0, disk_sum = 0.0;
+  for (const auto& node : nodes) {
+    const double denom = end > 0 ? static_cast<double>(end) : 1.0;
+    const double cpu =
+        static_cast<double>(node->cpu_busy_until(end)) / denom;
+    const double disk =
+        static_cast<double>(node->disk_busy_until(end)) / denom;
+    result.node_cpu_utilization.push_back(cpu);
+    result.node_disk_utilization.push_back(disk);
+    cpu_sum += cpu;
+    disk_sum += disk;
+  }
+  result.mean_cpu_utilization = cpu_sum / static_cast<double>(config_.p);
+  result.mean_disk_utilization = disk_sum / static_cast<double>(config_.p);
+  result.theta_limit = reservation.theta_limit();
+  result.a_hat = reservation.a_hat();
+  result.r_hat = reservation.r_hat();
+  result.master_fraction = reservation.master_fraction();
+  for (const auto& cache : caches) {
+    result.cache_hits += cache.hits();
+    result.cache_lookups += cache.lookups();
+  }
+  if (result.cache_lookups > 0)
+    result.cache_hit_ratio = static_cast<double>(result.cache_hits) /
+                             static_cast<double>(result.cache_lookups);
+  return result;
+}
+
+}  // namespace wsched::core

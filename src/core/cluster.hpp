@@ -1,0 +1,88 @@
+// ClusterSim: glues the OS-level node simulator, the load monitor, the
+// reservation controller and a dispatch policy into one trace-driven run.
+//
+// Request lifecycle: a trace record arrives at the cluster front end; the
+// dispatcher routes it (for M/S: receiving master, possible redirect); if
+// redirected, the remote-CGI dispatch latency is charged; the target node
+// forks/pages/schedules it through CPU and disk bursts; on completion the
+// metrics and the reservation controller's response estimates are updated.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/load.hpp"
+#include "core/metrics.hpp"
+#include "core/policy.hpp"
+#include "core/reservation.hpp"
+#include "sim/engine.hpp"
+#include "sim/node.hpp"
+#include "trace/record.hpp"
+
+namespace wsched::core {
+
+struct ClusterConfig {
+  int p = 32;  ///< nodes
+  int m = 4;   ///< masters (nodes [0, m)); ignored by Flat
+  sim::OsParams os;
+  /// Per-node speed factors; empty means homogeneous 1.0 nodes.
+  std::vector<sim::NodeParams> node_params;
+  Time load_sample_period = 100 * kMillisecond;
+  Time reservation_update_period = 1 * kSecond;
+  Time warmup = 2 * kSecond;
+  std::uint64_t seed = 1;
+  /// Priors for the reservation controller (p and m are overwritten).
+  ReservationConfig reservation;
+  /// Prior for the dispatch-feedback demand estimate (mean dynamic service
+  /// demand in seconds, i.e. 1/(r*mu_h)); refined online from completions.
+  double initial_dynamic_demand_s = 0.03;
+  /// Per-receiver dispatch feedback (see DispatchFeedback). Disabling it
+  /// reproduces the stale-information herding pathology for ablation.
+  bool use_dispatch_feedback = true;
+  /// CGI-cache extension (Swala, §6): entries per master; 0 disables.
+  std::size_t cgi_cache_entries = 0;
+  /// Validity window of a cached dynamic response.
+  Time cgi_cache_ttl = 30 * kSecond;
+  /// Static service rate used to cost a cache-hit serve (a hit is a file
+  /// fetch of the stored response).
+  double cache_hit_mu = 1200.0;
+};
+
+struct RunResult {
+  MetricsSummary metrics;
+  double mean_cpu_utilization = 0.0;
+  double mean_disk_utilization = 0.0;
+  std::vector<double> node_cpu_utilization;
+  std::vector<double> node_disk_utilization;
+  std::uint64_t events = 0;
+  double sim_seconds = 0.0;
+  /// Reservation-controller end state (M/S family only).
+  double theta_limit = 0.0;
+  double a_hat = 0.0;
+  double r_hat = 0.0;
+  double master_fraction = 0.0;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  /// CGI-cache extension statistics (0 when the cache is off).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_lookups = 0;
+  double cache_hit_ratio = 0.0;
+};
+
+class ClusterSim {
+ public:
+  ClusterSim(ClusterConfig config, std::unique_ptr<Dispatcher> dispatcher);
+
+  /// Replays the trace to completion and returns aggregated results.
+  /// Deterministic in (config.seed, trace, dispatcher).
+  RunResult run(const trace::Trace& trace);
+
+  const Dispatcher& dispatcher() const { return *dispatcher_; }
+
+ private:
+  ClusterConfig config_;
+  std::unique_ptr<Dispatcher> dispatcher_;
+};
+
+}  // namespace wsched::core

@@ -1,0 +1,125 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/optimize.hpp"
+
+namespace wsched::core {
+
+model::Workload analytic_workload(const ExperimentSpec& spec) {
+  model::Workload w;
+  w.p = spec.p;
+  w.lambda = spec.lambda;
+  w.mu_h = spec.mu_h;
+  const double frac = spec.profile.cgi_fraction;
+  w.a = frac / (1.0 - frac);
+  w.r = spec.r;
+  return w;
+}
+
+namespace {
+
+/// Static share of total offered load, as a node count — the sizing that
+/// balances the two tiers when Theorem 1 has no stable answer.
+int load_proportional_masters(const model::Workload& w) {
+  const double share = 1.0 / (1.0 + w.a / w.r);
+  const int m = static_cast<int>(std::lround(share * w.p));
+  return std::clamp(m, 1, w.p - 1);
+}
+
+}  // namespace
+
+int masters_from_theorem(const model::Workload& w) {
+  if (w.p < 2) return 1;
+  if (const auto plan = model::optimize_ms(w)) return plan->m;
+  return load_proportional_masters(w);
+}
+
+int msprime_k_from_model(const model::Workload& w) {
+  if (const auto plan = model::optimize_msprime(w)) return plan->k;
+  // Dynamic share of the offered load, as a node count.
+  const double share = (w.a / w.r) / (1.0 + w.a / w.r);
+  return std::clamp(static_cast<int>(std::lround(share * w.p)), 1, w.p);
+}
+
+ExperimentResult run_experiment(const ExperimentSpec& spec) {
+  const model::Workload analytic = analytic_workload(spec);
+
+  ClusterConfig config;
+  config.p = spec.p;
+  config.os = spec.os;
+  config.seed = spec.seed;
+  config.warmup = from_seconds(spec.warmup_s);
+  config.load_sample_period = from_seconds(spec.load_sample_period_s);
+
+  int m = spec.m;
+  if (spec.kind == SchedulerKind::kFlat || spec.kind == SchedulerKind::kMs1) {
+    // No two-tier split: m is irrelevant but must be valid; use 1.
+    m = std::max(1, std::min(spec.p, m > 0 ? m : 1));
+  } else if (m <= 0) {
+    m = masters_from_theorem(analytic);
+  }
+  config.m = std::clamp(m, 1, spec.p);
+
+  int k = spec.msprime_k;
+  if (spec.kind == SchedulerKind::kMsPrime && k <= 0)
+    k = msprime_k_from_model(analytic);
+
+  // Reservation priors: the spec's sampled rates (the paper samples average
+  // arrival and service ratios in advance).
+  config.reservation.initial_r = spec.r;
+  config.reservation.initial_a = analytic.a;
+  config.initial_dynamic_demand_s = 1.0 / (spec.r * spec.mu_h);
+
+  trace::GeneratorConfig gen;
+  gen.profile = spec.profile;
+  gen.lambda = spec.lambda;
+  gen.duration_s = spec.duration_s;
+  gen.mu_h = spec.mu_h;
+  gen.r = spec.r;
+  gen.seed = spec.seed;
+  const trace::Trace trace = trace::generate(gen);
+
+  std::unique_ptr<Dispatcher> dispatcher;
+  switch (spec.kind) {
+    case SchedulerKind::kFlat:
+      dispatcher = make_flat();
+      break;
+    case SchedulerKind::kMs:
+      dispatcher = make_ms({.rsrc_tolerance = spec.rsrc_tolerance});
+      break;
+    case SchedulerKind::kMsNs:
+      dispatcher = make_ms(
+          {.sample_demand = false, .rsrc_tolerance = spec.rsrc_tolerance});
+      break;
+    case SchedulerKind::kMsNr:
+      dispatcher =
+          make_ms({.reserve = false, .rsrc_tolerance = spec.rsrc_tolerance});
+      break;
+    case SchedulerKind::kMs1:
+      dispatcher = make_ms(
+          {.all_masters = true, .rsrc_tolerance = spec.rsrc_tolerance});
+      break;
+    case SchedulerKind::kMsPrime:
+      dispatcher = make_msprime(std::max(1, k));
+      break;
+  }
+  ClusterSim cluster(config, std::move(dispatcher));
+  ExperimentResult result;
+  result.run = cluster.run(trace);
+  result.m_used = config.m;
+  result.k_used = k;
+  result.scheduler = to_string(spec.kind);
+  return result;
+}
+
+double improvement(const ExperimentResult& better,
+                   const ExperimentResult& worse) {
+  const double sb = better.run.metrics.stretch;
+  const double sw = worse.run.metrics.stretch;
+  if (sb <= 0.0) return 0.0;
+  return sw / sb - 1.0;
+}
+
+}  // namespace wsched::core

@@ -1,0 +1,68 @@
+// Experiment harness helpers shared by the fig4/fig5/table3 benches, the
+// tests and the examples: build a workload, size the master pool with
+// Theorem 1, run one scheduler variant, and report the stretch factor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/cluster.hpp"
+#include "core/policy.hpp"
+#include "model/queueing.hpp"
+#include "trace/generator.hpp"
+#include "trace/profile.hpp"
+
+namespace wsched::core {
+
+struct ExperimentSpec {
+  trace::WorkloadProfile profile;
+  int p = 32;
+  double lambda = 1000.0;  ///< total request arrival rate (req/s)
+  double r = 1.0 / 40.0;   ///< service-rate ratio mu_c / mu_h
+  double mu_h = 1200.0;    ///< SPECweb96-calibrated static rate per node
+  double duration_s = 10.0;
+  double warmup_s = 2.0;
+  SchedulerKind kind = SchedulerKind::kMs;
+  std::uint64_t seed = 1;
+  /// Master count; 0 derives it from Theorem 1 (optimize_ms).
+  int m = 0;
+  /// M/S' dedicated-node count; 0 derives it from the analytic model.
+  int msprime_k = 0;
+  /// Override OS parameters (memory size etc.); defaults are §5.1's.
+  sim::OsParams os;
+  /// rstat-style load sampling period in seconds.
+  double load_sample_period_s = 0.10;
+  /// Near-tie tolerance of the min-RSRC pick.
+  double rsrc_tolerance = 0.30;
+};
+
+/// The analytic workload corresponding to a spec (for Theorem 1 sizing and
+/// model-vs-simulation comparisons).
+model::Workload analytic_workload(const ExperimentSpec& spec);
+
+/// Master count from Theorem 1's numeric optimization, with a
+/// load-proportional fallback (static share of the total offered load)
+/// when no stable M/S configuration exists at the sampled rates.
+int masters_from_theorem(const model::Workload& w);
+
+/// M/S' dedicated-node count, same pattern.
+int msprime_k_from_model(const model::Workload& w);
+
+struct ExperimentResult {
+  RunResult run;
+  int m_used = 0;
+  int k_used = 0;
+  std::string scheduler;
+};
+
+/// Generates the trace for the spec and replays it through the configured
+/// cluster. Deterministic in the spec.
+ExperimentResult run_experiment(const ExperimentSpec& spec);
+
+/// Convenience: the improvement ratio of `better` over `worse`
+/// (stretch_worse / stretch_better - 1), the quantity plotted in Figure 4
+/// and tabulated in Table 3.
+double improvement(const ExperimentResult& better,
+                   const ExperimentResult& worse);
+
+}  // namespace wsched::core

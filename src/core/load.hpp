@@ -1,0 +1,94 @@
+// Periodic load collection — the simulator's stand-in for the paper's
+// rstat()-based monitoring ("we use the Unix rstat() function to collect
+// the load information on each node", §4). Ratios are computed over the
+// sampling window, so dispatchers always act on slightly stale data, just
+// like the real system.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/node.hpp"
+#include "util/time.hpp"
+
+namespace wsched::core {
+
+/// Snapshot of one node's availability, as the scheduler sees it.
+struct LoadInfo {
+  double cpu_idle_ratio = 1.0;   ///< CPUIdleRatio in Equation 5
+  double disk_avail_ratio = 1.0; ///< DiskAvailRatio in Equation 5
+};
+
+/// Dispatcher-side feedback on top of periodically sampled load.
+///
+/// Sampled ratios alone make a min-cost dispatcher herd: every dynamic
+/// request in one sampling window picks the same "idle" node. A working
+/// implementation must account for work it has already dispatched but that
+/// the next sample has not yet observed. DispatchFeedback keeps, per node,
+/// the CPU/disk work handed out since the last sample (estimated from the
+/// smoothed dynamic demand and the request's sampled `w`) and debits it
+/// from the measured availability; each fresh sample clears the debits
+/// because the measurement now reflects them.
+class DispatchFeedback {
+ public:
+  DispatchFeedback(std::size_t nodes, Time sample_window,
+                   double initial_demand_s, double floor = 0.01);
+
+  /// Refreshes the base snapshot (call whenever the monitor samples).
+  void on_sample(const std::vector<LoadInfo>& fresh);
+
+  /// Debits a dynamic dispatch from node `node`'s availability.
+  void on_dispatch(std::size_t node, double w);
+
+  /// Feeds a completed dynamic request's true demand into the running
+  /// demand estimate (the paper's off-line sampling analogue).
+  void note_dynamic_demand(Time demand);
+
+  const std::vector<LoadInfo>& effective() const { return effective_; }
+  double demand_estimate_s() const { return demand_s_; }
+
+ private:
+  Time window_;
+  double floor_;
+  double demand_s_;  ///< EWMA of dynamic service demand, seconds
+  std::vector<LoadInfo> base_;
+  std::vector<LoadInfo> effective_;
+};
+
+class LoadMonitor {
+ public:
+  /// Ratios are clamped below by `floor` so the RSRC division is defined
+  /// even on a saturated node.
+  LoadMonitor(sim::Engine& engine, std::vector<sim::Node*> nodes,
+              Time period, double floor = 0.01);
+
+  /// Schedules the periodic sampling; call once before the run.
+  void start();
+
+  const LoadInfo& info(std::size_t node) const { return info_.at(node); }
+  const std::vector<LoadInfo>& all() const { return info_; }
+  Time period() const { return period_; }
+
+  /// Takes one sample immediately (also used by start()).
+  void sample_now();
+
+  /// Invoked after every periodic sample (e.g. to refresh a
+  /// DispatchFeedback snapshot).
+  void set_on_sample(std::function<void()> fn) { on_sample_ = std::move(fn); }
+
+ private:
+  void on_tick();
+
+  sim::Engine& engine_;
+  std::vector<sim::Node*> nodes_;
+  Time period_;
+  double floor_;
+  std::vector<LoadInfo> info_;
+  std::vector<Time> last_cpu_busy_;
+  std::vector<Time> last_disk_busy_;
+  Time last_sample_ = 0;
+  std::function<void()> on_sample_;
+};
+
+}  // namespace wsched::core

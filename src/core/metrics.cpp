@@ -1,0 +1,49 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+namespace wsched::core {
+
+MetricsCollector::MetricsCollector(Time warmup, Time fork_overhead)
+    : warmup_(warmup), fork_overhead_(fork_overhead) {}
+
+void MetricsCollector::record(const sim::Job& job, Time completion) {
+  if (job.cluster_arrival < warmup_) return;
+  const Time response = std::max<Time>(1, completion - job.cluster_arrival);
+  const bool dynamic = job.request.is_dynamic();
+  const Time demand = std::max<Time>(
+      1, job.request.service_demand + (dynamic ? fork_overhead_ : 0));
+  const double stretch =
+      static_cast<double>(response) / static_cast<double>(demand);
+  const double response_s = to_seconds(response);
+
+  stretch_all_.add(stretch);
+  response_all_.add(response_s);
+  response_pct_.add(response_s);
+  if (dynamic) {
+    stretch_dynamic_.add(stretch);
+    response_dynamic_.add(response_s);
+  } else {
+    stretch_static_.add(stretch);
+    response_static_.add(response_s);
+  }
+}
+
+MetricsSummary MetricsCollector::summary() const {
+  MetricsSummary s;
+  s.completed = stretch_all_.count();
+  s.completed_static = stretch_static_.count();
+  s.completed_dynamic = stretch_dynamic_.count();
+  s.stretch = stretch_all_.mean();
+  s.stretch_static = stretch_static_.mean();
+  s.stretch_dynamic = stretch_dynamic_.mean();
+  s.mean_response_s = response_all_.mean();
+  s.mean_response_static_s = response_static_.mean();
+  s.mean_response_dynamic_s = response_dynamic_.mean();
+  s.p95_response_s = response_pct_.percentile(0.95);
+  s.p99_response_s = response_pct_.percentile(0.99);
+  s.max_stretch = stretch_all_.max();
+  return s;
+}
+
+}  // namespace wsched::core

@@ -1,0 +1,57 @@
+// Request-level metrics. The primary metric is the paper's stretch factor:
+// mean over requests of (response time at the server site / service
+// demand), where service demand is the unloaded processing time (for CGI,
+// including the fork that local execution would also pay). Internet delay
+// is excluded by construction — times are measured at the cluster.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/process.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace wsched::core {
+
+/// Aggregated results of one run.
+struct MetricsSummary {
+  std::uint64_t completed = 0;
+  std::uint64_t completed_static = 0;
+  std::uint64_t completed_dynamic = 0;
+  double stretch = 0.0;          ///< the paper's headline metric
+  double stretch_static = 0.0;
+  double stretch_dynamic = 0.0;
+  double mean_response_s = 0.0;
+  double mean_response_static_s = 0.0;
+  double mean_response_dynamic_s = 0.0;
+  double p95_response_s = 0.0;
+  double p99_response_s = 0.0;
+  double max_stretch = 0.0;
+};
+
+class MetricsCollector {
+ public:
+  /// Requests arriving before `warmup` are excluded from the aggregates
+  /// (transient fill-up); `fork_overhead` is added to the demand basis of
+  /// dynamic requests.
+  MetricsCollector(Time warmup, Time fork_overhead);
+
+  void record(const sim::Job& job, Time completion);
+
+  MetricsSummary summary() const;
+
+  const RunningStats& stretch_stats() const { return stretch_all_; }
+
+ private:
+  Time warmup_;
+  Time fork_overhead_;
+  RunningStats stretch_all_;
+  RunningStats stretch_static_;
+  RunningStats stretch_dynamic_;
+  RunningStats response_all_;
+  RunningStats response_static_;
+  RunningStats response_dynamic_;
+  PercentileSampler response_pct_;
+};
+
+}  // namespace wsched::core

@@ -1,0 +1,163 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/rsrc.hpp"
+
+namespace wsched::core {
+namespace {
+
+int random_in(Rng& rng, int count) {
+  return static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(count)));
+}
+
+class FlatDispatcher final : public Dispatcher {
+ public:
+  Decision route(const trace::TraceRecord&, ClusterView& view) override {
+    // DNS/switch baseline: uniformly random node, executed where received.
+    const int node = random_in(*view.rng, view.p);
+    return Decision{node, false, -1.0, node};
+  }
+  std::string name() const override { return "Flat"; }
+};
+
+class MsDispatcher final : public Dispatcher {
+ public:
+  explicit MsDispatcher(MsOptions options) : options_(options) {}
+
+  Decision route(const trace::TraceRecord& request,
+                 ClusterView& view) override {
+    const int masters = options_.all_masters ? view.p : view.m;
+    if (masters < 1 || masters > view.p)
+      throw std::invalid_argument("M/S: bad master count");
+    if (view.reservation != nullptr)
+      view.reservation->record_arrival(request.is_dynamic());
+
+    // The front end spreads requests uniformly over the masters.
+    const int receiver = random_in(*view.rng, masters);
+    if (!request.is_dynamic()) {
+      // "Static requests are processed locally at masters."
+      return Decision{receiver, false, -1.0, receiver};
+    }
+
+    // Dynamic: min-RSRC over slaves plus, reservation permitting, masters.
+    const bool reservation_active =
+        options_.reserve && !options_.all_masters &&
+        view.reservation != nullptr;
+    const bool masters_allowed =
+        !reservation_active ||
+        (options_.binary_admission
+             ? view.reservation->binary_gate_open()
+             : view.rng->uniform() <
+                   view.reservation->master_admission());
+
+    candidates_.clear();
+    if (masters_allowed)
+      for (int n = 0; n < masters; ++n) candidates_.push_back(n);
+    for (int n = masters; n < view.p; ++n) candidates_.push_back(n);
+    if (candidates_.empty())
+      for (int n = 0; n < view.p; ++n) candidates_.push_back(n);
+
+    const double w =
+        options_.sample_demand ? request.cpu_fraction : 0.5;
+    const std::vector<sim::NodeParams>* speeds =
+        options_.speed_aware ? view.node_params : nullptr;
+    const std::size_t pick =
+        pick_min_rsrc(w, candidates_, view.load_seen_by(receiver), speeds,
+                      *view.rng, options_.rsrc_tolerance);
+    const int target = candidates_[pick];
+    if (view.reservation != nullptr)
+      view.reservation->record_dynamic_routing(target < view.m);
+    return Decision{target, target != receiver, w, receiver};
+  }
+
+  std::string name() const override {
+    if (options_.all_masters) return "M/S-1";
+    if (!options_.reserve) return "M/S-nr";
+    if (!options_.sample_demand) return "M/S-ns";
+    return "M/S";
+  }
+
+ private:
+  MsOptions options_;
+  std::vector<int> candidates_;  // reused across calls
+};
+
+class MsPrimeDispatcher final : public Dispatcher {
+ public:
+  explicit MsPrimeDispatcher(int k) : k_(k) {
+    if (k < 1) throw std::invalid_argument("M/S': k must be >= 1");
+  }
+
+  Decision route(const trace::TraceRecord& request,
+                 ClusterView& view) override {
+    const int k = std::min(k_, view.p);
+    // Static requests are spread over every node; dynamic requests are
+    // pinned to the k dedicated nodes (min-RSRC among them).
+    const int receiver = random_in(*view.rng, view.p);
+    if (!request.is_dynamic())
+      return Decision{receiver, false, -1.0, receiver};
+    candidates_.clear();
+    for (int n = 0; n < k; ++n) candidates_.push_back(n);
+    const std::size_t pick =
+        pick_min_rsrc(request.cpu_fraction, candidates_,
+                      view.load_seen_by(receiver), *view.rng);
+    const int target = candidates_[pick];
+    return Decision{target, target != receiver, request.cpu_fraction,
+                    receiver};
+  }
+
+  std::string name() const override { return "M/S'"; }
+
+ private:
+  int k_;
+  std::vector<int> candidates_;
+};
+
+}  // namespace
+
+std::unique_ptr<Dispatcher> make_flat() {
+  return std::make_unique<FlatDispatcher>();
+}
+
+std::unique_ptr<Dispatcher> make_ms(MsOptions options) {
+  return std::make_unique<MsDispatcher>(options);
+}
+
+std::unique_ptr<Dispatcher> make_msprime(int k) {
+  return std::make_unique<MsPrimeDispatcher>(k);
+}
+
+std::string to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFlat: return "Flat";
+    case SchedulerKind::kMs: return "M/S";
+    case SchedulerKind::kMsNs: return "M/S-ns";
+    case SchedulerKind::kMsNr: return "M/S-nr";
+    case SchedulerKind::kMs1: return "M/S-1";
+    case SchedulerKind::kMsPrime: return "M/S'";
+  }
+  return "?";
+}
+
+std::unique_ptr<Dispatcher> make_dispatcher(SchedulerKind kind,
+                                            int msprime_k) {
+  switch (kind) {
+    case SchedulerKind::kFlat:
+      return make_flat();
+    case SchedulerKind::kMs:
+      return make_ms();
+    case SchedulerKind::kMsNs:
+      return make_ms({.sample_demand = false});
+    case SchedulerKind::kMsNr:
+      return make_ms({.reserve = false});
+    case SchedulerKind::kMs1:
+      return make_ms({.all_masters = true});
+    case SchedulerKind::kMsPrime:
+      return make_msprime(msprime_k);
+  }
+  throw std::invalid_argument("unknown scheduler kind");
+}
+
+}  // namespace wsched::core

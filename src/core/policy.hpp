@@ -1,0 +1,108 @@
+// Dispatch policies: the paper's M/S scheduler and the alternatives it is
+// evaluated against (§5.2).
+//
+//   Flat    — every request to a uniformly random node (the DNS/switch
+//             baseline of the analytic model).
+//   M/S     — the full optimization: static requests processed at the
+//             receiving master; dynamic requests to the min-RSRC node among
+//             slaves plus (reservation permitting) masters, using the
+//             sampled per-type CPU share `w`.
+//   M/S-ns  — no demand sampling: RSRC evaluated with w = 0.5.
+//   M/S-nr  — no reservation: masters always candidates for dynamic work.
+//   M/S-1   — every node is a master, same algorithm ("a flat architecture
+//             with remote CGI").
+//   M/S'    — static spread over all p nodes; dynamic pinned to k fixed
+//             nodes (the analytic alternative of §3, also runnable here).
+//
+// Convention: nodes [0, m) are masters, [m, p) are slaves.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/load.hpp"
+#include "core/reservation.hpp"
+#include "sim/params.hpp"
+#include "trace/record.hpp"
+#include "util/rng.hpp"
+
+namespace wsched::core {
+
+/// Everything a policy may consult when routing one request.
+struct ClusterView {
+  const std::vector<LoadInfo>* load = nullptr;
+  /// Per-receiver dispatch knowledge: entry i is the load picture as seen
+  /// by node i acting as the accepting front end — the shared periodic
+  /// sample debited by node i's *own* recent dispatches only (masters do
+  /// not see each other's in-flight redirections, just as in the real
+  /// system where each master runs its own load manager). Null in tests
+  /// or minimal setups; policies then fall back to `load`.
+  const std::vector<DispatchFeedback>* feedbacks = nullptr;
+  /// Per-node speed factors for the heterogeneous extension; null for a
+  /// homogeneous cluster.
+  const std::vector<sim::NodeParams>* node_params = nullptr;
+  int p = 0;
+  int m = 0;
+  ReservationController* reservation = nullptr;  ///< may be null
+  Rng* rng = nullptr;
+
+  /// The load picture receiver `node` routes by.
+  const std::vector<LoadInfo>& load_seen_by(int node) const {
+    if (feedbacks != nullptr)
+      return (*feedbacks)[static_cast<std::size_t>(node)].effective();
+    return *load;
+  }
+};
+
+/// Routing decision for one request.
+struct Decision {
+  int node = 0;
+  /// True when the executing node differs from the node that accepted the
+  /// request, which costs the remote-CGI dispatch latency.
+  bool remote = false;
+  /// The `w` used in the RSRC pick, or a negative value when the decision
+  /// was not RSRC-based (static requests, the flat baseline). The cluster
+  /// uses it to debit dispatch feedback from the chosen node.
+  double rsrc_w = -1.0;
+  /// The node that accepted the request at the front end (and whose
+  /// dispatch knowledge should be debited for RSRC decisions).
+  int receiver = 0;
+};
+
+class Dispatcher {
+ public:
+  virtual ~Dispatcher() = default;
+  virtual Decision route(const trace::TraceRecord& request,
+                         ClusterView& view) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Knobs for the M/S family.
+struct MsOptions {
+  bool sample_demand = true;   ///< false = M/S-ns (w fixed at 0.5)
+  bool reserve = true;         ///< false = M/S-nr
+  bool all_masters = false;    ///< true = M/S-1
+  /// Near-tie tolerance for the min-RSRC pick (see pick_min_rsrc).
+  double rsrc_tolerance = 0.30;
+  /// Ablation: use the naive binary fraction-below-limit reservation gate
+  /// instead of the tapered admission (exhibits pulsed herding).
+  bool binary_admission = false;
+  /// Heterogeneous extension: weight RSRC by per-node CPU/disk speeds when
+  /// the cluster provides them (rsrc_cost_heterogeneous).
+  bool speed_aware = false;
+};
+
+std::unique_ptr<Dispatcher> make_flat();
+std::unique_ptr<Dispatcher> make_ms(MsOptions options = {});
+/// M/S' with k dedicated dynamic nodes (nodes [0, k)).
+std::unique_ptr<Dispatcher> make_msprime(int k);
+
+/// The named variants used by the experiments.
+enum class SchedulerKind { kFlat, kMs, kMsNs, kMsNr, kMs1, kMsPrime };
+
+std::string to_string(SchedulerKind kind);
+std::unique_ptr<Dispatcher> make_dispatcher(SchedulerKind kind,
+                                            int msprime_k = 1);
+
+}  // namespace wsched::core

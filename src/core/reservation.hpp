@@ -1,0 +1,106 @@
+// Reservation for static request processing (§4).
+//
+// Masters reserve capacity for static requests by capping the fraction of
+// dynamic requests they execute locally at
+//
+//   theta'_2 = m/p - r_hat * (p - m) / (a_hat * p)
+//
+// — the upper end of Theorem 1's window, beyond which M/S falls behind the
+// flat architecture. The controller monitors the arrival mix for a_hat and
+// approximates r_hat from the relative response times of the two classes
+// ("we use current relative response times of static and dynamic content
+// requests to approximate r"), recomputing theta'_2 periodically. The
+// adjustment is self-stabilizing (§4): if theta'_2 is too low, masters run
+// few CGI, static responses speed up, r_hat falls, theta'_2 rises — and
+// vice versa.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace wsched::core {
+
+struct ReservationConfig {
+  int p = 32;
+  int m = 4;
+  /// Priors used until real measurements arrive.
+  double initial_r = 1.0 / 40.0;
+  double initial_a = 0.3;
+  /// EWMA weight for response-time estimates.
+  double estimate_alpha = 0.05;
+  /// EWMA weight for the arrival-mix indicator. Much smaller than
+  /// estimate_alpha: at hundreds of arrivals per second a per-arrival
+  /// indicator EWMA is extremely noisy unless heavily smoothed.
+  double arrival_alpha = 0.005;
+  /// EWMA weight for the routed-to-master fraction (per dynamic request).
+  double routing_alpha = 0.01;
+  /// Clamp for r_hat; response-ratio estimates are noisy at low load.
+  double r_min = 1e-4;
+  double r_max = 1.0;
+};
+
+class ReservationController {
+ public:
+  explicit ReservationController(const ReservationConfig& config);
+
+  /// Called by the dispatcher for every arrival (a_hat bookkeeping).
+  void record_arrival(bool dynamic);
+
+  /// Called on completion with the request's response time.
+  void record_completion(bool dynamic, Time response);
+
+  /// Called for every dynamic routing decision (true = sent to a master).
+  void record_dynamic_routing(bool to_master);
+
+  /// Recomputes theta'_2 from the current estimates; call periodically
+  /// (the load managers "update theta'_2 periodically", §4).
+  void update();
+
+  /// Probability that masters are admitted as candidates for the next
+  /// dynamic request. A binary fraction-below-limit gate causes pulsed
+  /// herding: while closed, dynamic work piles onto the slaves, so the
+  /// moment it reopens the (comparatively idle) masters win every min-RSRC
+  /// pick until the smoothed fraction crosses the limit again — slamming
+  /// bursts of CGI into the nodes the reservation exists to protect.
+  /// Tapering the admission linearly to zero as the routed fraction
+  /// approaches theta'_2 keeps the inflow smooth: full admission below
+  /// half the limit, zero at the limit.
+  double master_admission() const {
+    if (theta_limit_ <= 0.0) return 0.0;
+    const double headroom = 1.0 - master_fraction_ / theta_limit_;
+    return std::clamp(2.0 * headroom, 0.0, 1.0);
+  }
+
+  /// Convenience for tests/diagnostics: any admission possible right now?
+  bool master_allowed() const { return master_admission() > 0.0; }
+
+  /// The naive binary gate (fraction strictly below the limit), kept for
+  /// the ablation study of the tapered admission.
+  bool binary_gate_open() const { return master_fraction_ < theta_limit_; }
+
+  double theta_limit() const { return theta_limit_; }
+  double master_fraction() const { return master_fraction_; }
+  double a_hat() const { return a_hat_; }
+  double r_hat() const { return r_hat_; }
+  int masters() const { return config_.m; }
+  int nodes() const { return config_.p; }
+
+  /// theta'_2 for given parameters (exposed for tests/benches).
+  static double theta_limit_for(int p, int m, double r, double a);
+
+ private:
+  ReservationConfig config_;
+  Ewma static_resp_;
+  Ewma dynamic_resp_;
+  Ewma arrival_mix_;  ///< EWMA of the is-dynamic indicator
+  double a_hat_;
+  double r_hat_;
+  double theta_limit_ = 0.0;
+  double master_fraction_ = 0.0;
+  bool routing_primed_ = false;
+};
+
+}  // namespace wsched::core

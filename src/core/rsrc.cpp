@@ -1,0 +1,55 @@
+#include "core/rsrc.hpp"
+
+#include <stdexcept>
+
+namespace wsched::core {
+
+double rsrc_cost(double w, const LoadInfo& load) {
+  return w / load.cpu_idle_ratio + (1.0 - w) / load.disk_avail_ratio;
+}
+
+double rsrc_cost_heterogeneous(double w, const LoadInfo& load,
+                               double cpu_speed, double disk_speed) {
+  return w / (load.cpu_idle_ratio * cpu_speed) +
+         (1.0 - w) / (load.disk_avail_ratio * disk_speed);
+}
+
+std::size_t pick_min_rsrc(double w, const std::vector<int>& candidates,
+                          const std::vector<LoadInfo>& load,
+                          const std::vector<sim::NodeParams>* speeds,
+                          Rng& rng, double tolerance) {
+  if (candidates.empty())
+    throw std::invalid_argument("pick_min_rsrc: no candidates");
+  const auto cost_of = [&](std::size_t i) {
+    const auto node = static_cast<std::size_t>(candidates[i]);
+    if (speeds == nullptr) return rsrc_cost(w, load.at(node));
+    const sim::NodeParams& params = speeds->at(node);
+    return rsrc_cost_heterogeneous(w, load.at(node), params.cpu_speed,
+                                   params.disk_speed);
+  };
+  // Pass 1: the true minimum cost.
+  double best_cost = 0.0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double cost = cost_of(i);
+    if (i == 0 || cost < best_cost) best_cost = cost;
+  }
+  // Pass 2: reservoir-sample uniformly among near-ties.
+  const double cutoff = best_cost * (1.0 + tolerance);
+  std::size_t chosen = 0;
+  std::size_t near_ties = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (cost_of(i) <= cutoff) {
+      ++near_ties;
+      if (rng.uniform_int(near_ties) == 0) chosen = i;
+    }
+  }
+  return chosen;
+}
+
+std::size_t pick_min_rsrc(double w, const std::vector<int>& candidates,
+                          const std::vector<LoadInfo>& load, Rng& rng,
+                          double tolerance) {
+  return pick_min_rsrc(w, candidates, load, nullptr, rng, tolerance);
+}
+
+}  // namespace wsched::core

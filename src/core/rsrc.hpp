@@ -1,0 +1,49 @@
+// Relative server-site response cost (RSRC), Equation 5 of the paper:
+//
+//   RSRC = w / CPUIdleRatio + (1 - w) / DiskAvailRatio
+//
+// `w` is the request type's CPU cost share obtained by off-line sampling;
+// when no sample is available the paper assumes w = 0.5 (the M/S-ns
+// ablation). The dispatcher sends a dynamic request to the candidate node
+// with minimum RSRC.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/load.hpp"
+#include "sim/params.hpp"
+#include "util/rng.hpp"
+
+namespace wsched::core {
+
+/// Equation 5. Ratios must be in (0, 1]; LoadMonitor guarantees a floor.
+double rsrc_cost(double w, const LoadInfo& load);
+
+/// For heterogeneous clusters (the paper's [36] extension): divides each
+/// availability by the node's relative CPU/disk speed so faster nodes look
+/// cheaper. speeds of 1.0 reduce to Equation 5.
+double rsrc_cost_heterogeneous(double w, const LoadInfo& load,
+                               double cpu_speed, double disk_speed);
+
+/// Returns the index *into `candidates`* of the min-RSRC node.
+///
+/// Candidates whose cost is within `tolerance` of the minimum are treated
+/// as indistinguishable and chosen among uniformly. The monitored ratios
+/// are windowed averages with sampling noise, so exact argmin selection
+/// would be false precision — and, worse, it makes every front end that
+/// shares a load snapshot herd onto one node for a whole staleness window.
+/// Near-tie randomization is what lets a fleet of independent dispatchers
+/// spread load the way the paper's measured system evidently did.
+std::size_t pick_min_rsrc(double w, const std::vector<int>& candidates,
+                          const std::vector<LoadInfo>& load, Rng& rng,
+                          double tolerance = 0.30);
+
+/// Speed-aware variant for heterogeneous clusters: costs divide by each
+/// node's CPU/disk speed factors (null `speeds` falls back to Equation 5).
+std::size_t pick_min_rsrc(double w, const std::vector<int>& candidates,
+                          const std::vector<LoadInfo>& load,
+                          const std::vector<sim::NodeParams>* speeds,
+                          Rng& rng, double tolerance = 0.30);
+
+}  // namespace wsched::core

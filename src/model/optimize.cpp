@@ -1,0 +1,83 @@
+#include "model/optimize.hpp"
+
+#include <cmath>
+
+namespace wsched::model {
+namespace {
+
+template <typename ThetaFn>
+std::optional<MsPlan> optimize_with(const Workload& w, ThetaFn theta_for_m) {
+  std::optional<MsPlan> best;
+  for (int m = 1; m < w.p; ++m) {
+    const std::optional<double> theta = theta_for_m(w, m);
+    if (!theta) continue;
+    const Stretch s = ms_stretch(w, m, *theta);
+    if (!s) continue;
+    if (!best || *s < best->stretch) best = MsPlan{m, *theta, *s};
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<MsPlan> optimize_ms(const Workload& w) {
+  return optimize_with(w, [](const Workload& wl, int m) {
+    return best_theta(wl, m);
+  });
+}
+
+std::optional<MsPlan> optimize_ms_exact(const Workload& w) {
+  return optimize_with(w, [](const Workload& wl, int m) {
+    return optimal_theta_exact(wl, m);
+  });
+}
+
+std::optional<MsPlan> optimize_ms_partition(const Workload& w) {
+  return optimize_with(w, [](const Workload&, int) {
+    return std::optional<double>(0.0);
+  });
+}
+
+std::optional<MsPrimePlan> optimize_msprime(const Workload& w) {
+  std::optional<MsPrimePlan> best;
+  for (int k = 1; k <= w.p; ++k) {
+    const Stretch s = msprime_stretch(w, k);
+    if (!s) continue;
+    if (!best || *s < best->stretch) best = MsPrimePlan{k, *s};
+  }
+  return best;
+}
+
+std::vector<Fig3Point> figure3_grid(Workload base,
+                                    const std::vector<double>& as,
+                                    const std::vector<double>& inv_rs) {
+  std::vector<Fig3Point> points;
+  points.reserve(as.size() * inv_rs.size());
+  for (const double a : as) {
+    for (const double inv_r : inv_rs) {
+      Workload w = base;
+      w.a = a;
+      w.r = 1.0 / inv_r;
+      Fig3Point pt;
+      pt.inv_r = inv_r;
+      pt.a = a;
+      const Stretch sf = flat_stretch(w);
+      const std::optional<MsPlan> ms = optimize_ms(w);
+      const std::optional<MsPrimePlan> msp = optimize_msprime(w);
+      if (sf && ms && msp) {
+        pt.feasible = true;
+        pt.flat_stretch = *sf;
+        pt.ms_stretch = ms->stretch;
+        pt.msprime_stretch = msp->stretch;
+        pt.best_m = ms->m;
+        pt.best_k = msp->k;
+        pt.improvement_vs_flat = *sf / ms->stretch - 1.0;
+        pt.improvement_vs_msprime = msp->stretch / ms->stretch - 1.0;
+      }
+      points.push_back(pt);
+    }
+  }
+  return points;
+}
+
+}  // namespace wsched::model

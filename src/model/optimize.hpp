@@ -1,0 +1,75 @@
+// Theorem-1 style optimizers: choose the master count m (and theta) that
+// minimizes the analytic M/S stretch, and the dedicated-node count k for the
+// M/S' variant. Also provides the improvement-ratio computations plotted in
+// Figure 3 of the paper.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "model/queueing.hpp"
+
+namespace wsched::model {
+
+/// Result of optimizing the M/S configuration for a workload.
+struct MsPlan {
+  int m = 0;            ///< best number of master nodes
+  double theta = 0.0;   ///< operating theta (Theorem 1 midpoint rule)
+  double stretch = 0.0; ///< predicted SM at (m, theta)
+};
+
+/// Numerically minimizes SM over integer m in [1, p-1] using the paper's
+/// midpoint theta rule for each m (Theorem 1). Returns nullopt when no
+/// stable M/S configuration beats or matches stability (i.e. every m is
+/// unstable at its best theta).
+std::optional<MsPlan> optimize_ms(const Workload& w);
+
+/// Same search but with the exact theta minimizer per m; used by tests and
+/// the ablation bench to quantify the midpoint rule's optimality gap.
+std::optional<MsPlan> optimize_ms_exact(const Workload& w);
+
+/// Result of optimizing the M/S' configuration.
+struct MsPrimePlan {
+  int k = 0;
+  double stretch = 0.0;
+};
+
+/// Minimizes the M/S' stretch over k in [1, p].
+///
+/// NOTE (documented deviation): under the processor-sharing model the
+/// text-literal M/S' ("distribute static-content requests to all nodes")
+/// is never better than k = p, i.e. it degenerates to the flat model; the
+/// paper's Figure 3(b), which shows M/S beating M/S' by at most ~18%, must
+/// therefore use a variant whose exact formula the paper does not print.
+/// See optimize_ms_partition for the other defensible reading.
+std::optional<MsPrimePlan> optimize_msprime(const Workload& w);
+
+/// The "fixed partition" reading of M/S': dynamic requests pinned to p-m
+/// dedicated nodes, static on the remaining m — exactly M/S with theta
+/// frozen at 0 — with the split re-optimized. Under processor sharing this
+/// bounds M/S from below; the simulated system (Figure 4) is where the
+/// paper's theta > 0 and min-RSRC advantages actually materialize.
+std::optional<MsPlan> optimize_ms_partition(const Workload& w);
+
+/// One point of Figure 3: percentage improvements of optimized M/S over the
+/// flat model and over the optimized M/S' model.
+struct Fig3Point {
+  double inv_r = 0.0;          ///< 1/r (the x axis of Figure 3)
+  double a = 0.0;              ///< arrival-rate ratio
+  double flat_stretch = 0.0;
+  double ms_stretch = 0.0;
+  double msprime_stretch = 0.0;
+  double improvement_vs_flat = 0.0;     ///< (SF/SM - 1)
+  double improvement_vs_msprime = 0.0;  ///< (SM'/SM - 1)
+  int best_m = 0;
+  int best_k = 0;
+  bool feasible = false;  ///< all three models stable
+};
+
+/// Computes the Figure 3 grid for the given base workload, sweeping `a`
+/// over `as` and 1/r over `inv_rs`.
+std::vector<Fig3Point> figure3_grid(Workload base,
+                                    const std::vector<double>& as,
+                                    const std::vector<double>& inv_rs);
+
+}  // namespace wsched::model

@@ -1,0 +1,199 @@
+#include "model/queueing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wsched::model {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/// Stretch of a processor-sharing M/M/1 queue with utilization u.
+Stretch ps_stretch(double u) {
+  if (u >= 1.0 - kEps) return std::nullopt;
+  return 1.0 / (1.0 - u);
+}
+
+void check_ms_args(const Workload& w, int m) {
+  if (m < 1 || m >= w.p)
+    throw std::invalid_argument("M/S requires 1 <= m < p");
+}
+
+}  // namespace
+
+double flat_utilization(const Workload& w) {
+  const double p = w.p;
+  return w.rho() / p + w.a * w.rho() / (w.r * p);
+}
+
+Stretch flat_stretch(const Workload& w) {
+  return ps_stretch(flat_utilization(w));
+}
+
+double ms_master_utilization(const Workload& w, int m, double theta) {
+  check_ms_args(w, m);
+  const double md = m;
+  return w.rho() / md + theta * w.a * w.rho() / (w.r * md);
+}
+
+double ms_slave_utilization(const Workload& w, int m, double theta) {
+  check_ms_args(w, m);
+  const double slaves = w.p - m;
+  return (1.0 - theta) * w.a * w.rho() / (w.r * slaves);
+}
+
+Stretch ms_master_stretch(const Workload& w, int m, double theta) {
+  return ps_stretch(ms_master_utilization(w, m, theta));
+}
+
+Stretch ms_slave_stretch(const Workload& w, int m, double theta) {
+  return ps_stretch(ms_slave_utilization(w, m, theta));
+}
+
+Stretch ms_stretch(const Workload& w, int m, double theta) {
+  const Stretch master = ms_master_stretch(w, m, theta);
+  const Stretch slave = ms_slave_stretch(w, m, theta);
+  if (!master || !slave) return std::nullopt;
+  // Static requests and the theta fraction of dynamic requests see the
+  // master stretch; the remaining dynamic requests see the slave stretch.
+  return ((1.0 + w.a * theta) * *master + w.a * (1.0 - theta) * *slave) /
+         (1.0 + w.a);
+}
+
+double theta2_closed_form(const Workload& w, int m) {
+  check_ms_args(w, m);
+  const double p = w.p;
+  return static_cast<double>(m) / p -
+         w.r * (p - static_cast<double>(m)) / (w.a * p);
+}
+
+ThetaWindow theta_window(const Workload& w, int m) {
+  check_ms_args(w, m);
+  ThetaWindow window;
+  const Stretch sf = flat_stretch(w);
+  if (!sf) return window;  // flat unstable: comparison is meaningless
+
+  // Stability range for theta: masters stable below theta_master_max,
+  // slaves stable above theta_slave_min.
+  const double master_cap = w.r * m * (1.0 - w.rho() / m) / (w.a * w.rho());
+  const double slave_floor =
+      1.0 - w.r * (w.p - m) / (w.a * w.rho());
+  const double stable_lo = std::max(0.0, slave_floor + 1e-9);
+  const double stable_hi = std::min(1.0, master_cap - 1e-9);
+  if (stable_lo >= stable_hi) return window;
+
+  // Inequality (3) cleared of denominators (all positive in the stable
+  // range): g(theta) = (1+a*theta) D2 DF + a(1-theta) D1 DF - (1+a) D1 D2,
+  // a quadratic in theta since D1 and D2 are linear in theta. We recover
+  // A, B, C by evaluating at theta = 0, 1/2, 1 instead of trusting the
+  // paper's (OCR-damaged) coefficient expressions; tests verify that the
+  // closed-form theta2 from Theorem 1 is a root.
+  const double df = 1.0 - flat_utilization(w);
+  const auto g = [&](double theta) {
+    const double d1 = 1.0 - ms_master_utilization(w, m, theta);
+    const double d2 = 1.0 - ms_slave_utilization(w, m, theta);
+    return (1.0 + w.a * theta) * d2 * df + w.a * (1.0 - theta) * d1 * df -
+           (1.0 + w.a) * d1 * d2;
+  };
+  const double g0 = g(0.0);
+  const double gh = g(0.5);
+  const double g1 = g(1.0);
+  const double qa = 2.0 * (g0 + g1 - 2.0 * gh);
+  const double qb = g1 - g0 - qa;
+  const double qc = g0;
+
+  double lo, hi;
+  if (std::abs(qa) < kEps) {
+    // Degenerate (linear) case: single crossing.
+    if (std::abs(qb) < kEps) return window;
+    const double root = -qc / qb;
+    if (qb > 0) {
+      lo = -1e30;
+      hi = root;
+    } else {
+      lo = root;
+      hi = 1e30;
+    }
+  } else {
+    const double disc = qb * qb - 4.0 * qa * qc;
+    if (disc < 0.0) return window;  // SM < SF nowhere (or everywhere; A>0)
+    const double sq = std::sqrt(disc);
+    lo = (-qb - sq) / (2.0 * qa);
+    hi = (-qb + sq) / (2.0 * qa);
+    if (lo > hi) std::swap(lo, hi);
+  }
+
+  window.lo = std::max(lo, stable_lo);
+  window.hi = std::min(hi, stable_hi);
+  window.valid = window.lo <= window.hi;
+  return window;
+}
+
+std::optional<double> best_theta(const Workload& w, int m) {
+  const ThetaWindow window = theta_window(w, m);
+  if (!window.valid) return std::nullopt;
+  // Theorem 1: theta_m = max((theta1 + theta2)/2, 0); keep it inside the
+  // stable window in case 0 itself is unstable for the slaves.
+  const double mid = 0.5 * (window.lo + window.hi);
+  return std::clamp(std::max(mid, 0.0), window.lo, window.hi);
+}
+
+std::optional<double> optimal_theta_exact(const Workload& w, int m) {
+  check_ms_args(w, m);
+  const double master_cap = w.r * m * (1.0 - w.rho() / m) / (w.a * w.rho());
+  const double slave_floor = 1.0 - w.r * (w.p - m) / (w.a * w.rho());
+  double lo = std::max(0.0, slave_floor + 1e-9);
+  double hi = std::min(1.0, master_cap - 1e-9);
+  if (lo >= hi) return std::nullopt;
+
+  const auto value = [&](double theta) {
+    const Stretch s = ms_stretch(w, m, theta);
+    return s ? *s : 1e30;
+  };
+  // Golden-section search; SM(theta) is unimodal on the stable interval
+  // (sum of two convex reciprocals of linear functions).
+  constexpr double kGolden = 0.6180339887498949;
+  double a = lo, b = hi;
+  double x1 = b - kGolden * (b - a);
+  double x2 = a + kGolden * (b - a);
+  double f1 = value(x1), f2 = value(x2);
+  for (int iter = 0; iter < 200 && (b - a) > 1e-10; ++iter) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kGolden * (b - a);
+      f1 = value(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kGolden * (b - a);
+      f2 = value(x2);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+double msprime_pure_utilization(const Workload& w) {
+  return w.rho() / w.p;
+}
+
+double msprime_mixed_utilization(const Workload& w, int k) {
+  if (k < 1 || k > w.p)
+    throw std::invalid_argument("M/S' requires 1 <= k <= p");
+  return w.rho() / w.p + w.a * w.rho() / (w.r * k);
+}
+
+Stretch msprime_stretch(const Workload& w, int k) {
+  const Stretch pure = ps_stretch(msprime_pure_utilization(w));
+  const Stretch mixed = ps_stretch(msprime_mixed_utilization(w, k));
+  if (!pure || !mixed) return std::nullopt;
+  const double kf = static_cast<double>(k) / w.p;
+  // Static requests land on mixed nodes with probability k/p; all dynamic
+  // requests run on mixed nodes.
+  return ((1.0 - kf) * *pure + kf * *mixed + w.a * *mixed) / (1.0 + w.a);
+}
+
+}  // namespace wsched::model

@@ -1,0 +1,101 @@
+// Analytic queueing models from Section 3 of the paper.
+//
+// Both architectures are modeled as multi-class open queueing networks of p
+// homogeneous servers with Poisson arrivals and exponential service under
+// processor sharing, so each server's per-class stretch factor (mean
+// slowdown = response time / service demand) is 1/(1 - utilization).
+//
+// Notation (matching the paper):
+//   p       servers in the cluster
+//   m       master nodes (M/S only), 1 <= m < p
+//   lambda_h, lambda_c   arrival rates of static / dynamic requests
+//   mu_h, mu_c           service rates of static / dynamic requests
+//   a = lambda_c / lambda_h     arrival-rate ratio (dynamic : static)
+//   r = mu_c / mu_h             service-rate ratio  (dynamic are ~1/r slower)
+//   rho = lambda_h / mu_h       static offered load, in units of servers
+//   theta   fraction of dynamic requests processed locally at masters
+//
+// Flat: every request goes to a uniformly random node.
+// M/S: static requests are spread over the m masters; a fraction theta of
+//      dynamic requests runs on masters, the rest on the p-m slaves.
+// M/S': static requests are spread over all p nodes; dynamic requests are
+//      pinned to k dedicated nodes (which also take their 1/p share of
+//      static traffic).
+#pragma once
+
+#include <optional>
+
+namespace wsched::model {
+
+/// Workload/cluster parameters shared by all three models.
+struct Workload {
+  int p = 32;           ///< servers in the cluster
+  double lambda = 1000; ///< total arrival rate lambda_h + lambda_c (req/s)
+  double mu_h = 1200;   ///< static service rate per node (req/s)
+  double a = 0.25;      ///< lambda_c / lambda_h
+  double r = 0.05;      ///< mu_c / mu_h  (e.g. 1/20)
+
+  double lambda_h() const { return lambda / (1.0 + a); }
+  double lambda_c() const { return lambda * a / (1.0 + a); }
+  double mu_c() const { return mu_h * r; }
+  /// Static offered load in server units.
+  double rho() const { return lambda_h() / mu_h; }
+  /// Total offered load (static + dynamic) in server units.
+  double offered_load() const { return rho() * (1.0 + a / r); }
+};
+
+/// A stretch factor; absent when the corresponding queue is unstable
+/// (utilization >= 1), where the steady-state stretch diverges.
+using Stretch = std::optional<double>;
+
+/// Utilization of each node in the flat model.
+double flat_utilization(const Workload& w);
+
+/// SF: stretch of the flat architecture (same for both classes).
+Stretch flat_stretch(const Workload& w);
+
+/// Per-node utilizations in the M/S model.
+double ms_master_utilization(const Workload& w, int m, double theta);
+double ms_slave_utilization(const Workload& w, int m, double theta);
+
+/// Per-class stretch factors in the M/S model (Equation 1).
+Stretch ms_master_stretch(const Workload& w, int m, double theta);
+Stretch ms_slave_stretch(const Workload& w, int m, double theta);
+
+/// SM: class-weighted mean stretch of the M/S model (Equation 2):
+/// [(1 + a*theta) * SM_master + a*(1-theta) * SM_slave] / (1 + a).
+Stretch ms_stretch(const Workload& w, int m, double theta);
+
+/// The interval of theta for which SM <= SF (Theorem 1). Empty when no
+/// such theta exists (e.g. the condition m >= r*p/(a+r) fails badly or the
+/// flat system itself is unstable).
+struct ThetaWindow {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool valid = false;
+};
+ThetaWindow theta_window(const Workload& w, int m);
+
+/// Closed-form upper root theta2 = m/p - r(p-m)/(a p); at this theta the
+/// master and slave utilizations both equal the flat utilization. Stated in
+/// Theorem 1 and used as the reservation limit in Section 4.
+double theta2_closed_form(const Workload& w, int m);
+
+/// The paper's recommended operating point: the midpoint of the window,
+/// floored at 0 (Theorem 1: theta_m = max((theta1+theta2)/2, 0)). Returns
+/// nullopt when the window is invalid.
+std::optional<double> best_theta(const Workload& w, int m);
+
+/// True theta minimizer of SM for a given m (golden-section search over the
+/// stable range); used to quantify how close the paper's midpoint rule is.
+std::optional<double> optimal_theta_exact(const Workload& w, int m);
+
+/// --- M/S' model (dynamic requests pinned to k mixed nodes) ---
+
+double msprime_mixed_utilization(const Workload& w, int k);
+double msprime_pure_utilization(const Workload& w);
+
+/// Mean stretch of M/S' with k mixed (dynamic-capable) nodes.
+Stretch msprime_stretch(const Workload& w, int k);
+
+}  // namespace wsched::model

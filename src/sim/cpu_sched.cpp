@@ -1,0 +1,65 @@
+#include "sim/cpu_sched.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace wsched::sim {
+
+CpuScheduler::CpuScheduler(const OsParams& os) : os_(&os) {
+  if (os.priority_levels < 1 || os.priority_levels > 64)
+    throw std::invalid_argument("priority_levels must be in [1, 64]");
+  levels_.resize(static_cast<std::size_t>(os.priority_levels));
+}
+
+int CpuScheduler::level_of(const Process& proc) const {
+  const Time gran = std::max<Time>(1, os_->priority_granularity);
+  const Time level = proc.p_cpu / gran;
+  return static_cast<int>(
+      std::min<Time>(level, os_->priority_levels - 1));
+}
+
+void CpuScheduler::enqueue(Process* proc) {
+  const auto lvl = static_cast<std::size_t>(level_of(*proc));
+  levels_[lvl].push_back(proc);
+  nonempty_mask_ |= (1ULL << lvl);
+  ++size_;
+  proc->state = ProcState::kReady;
+}
+
+Process* CpuScheduler::pop_best() {
+  if (size_ == 0) return nullptr;
+  const auto lvl = static_cast<std::size_t>(
+      std::countr_zero(nonempty_mask_));
+  Process* proc = levels_[lvl].front();
+  levels_[lvl].pop_front();
+  if (levels_[lvl].empty()) nonempty_mask_ &= ~(1ULL << lvl);
+  --size_;
+  return proc;
+}
+
+bool CpuScheduler::preempts(const Process& candidate,
+                            const Process& running) const {
+  return level_of(candidate) < level_of(running);
+}
+
+Time CpuScheduler::decayed(Time p_cpu, int load) const {
+  if (load < 1) load = 1;
+  // BSD digital decay filter: p_cpu *= 2*load / (2*load + 1).
+  return p_cpu * (2 * static_cast<Time>(load)) /
+         (2 * static_cast<Time>(load) + 1);
+}
+
+void CpuScheduler::rebucket_all() {
+  std::vector<Process*> drained;
+  drained.reserve(size_);
+  for (auto& level : levels_) {
+    for (Process* proc : level) drained.push_back(proc);
+    level.clear();
+  }
+  nonempty_mask_ = 0;
+  size_ = 0;
+  for (Process* proc : drained) enqueue(proc);
+}
+
+}  // namespace wsched::sim

@@ -1,0 +1,47 @@
+// Round-robin disk scheduler (§5.1: "The I/O queue also maintains a set of
+// I/O processes and is scheduled using round-robin."). The disk serves one
+// process at a time in fixed page-access slices; a process with more I/O
+// left after its slice goes to the back of the ring.
+#pragma once
+
+#include <deque>
+
+#include "sim/params.hpp"
+#include "sim/process.hpp"
+
+namespace wsched::sim {
+
+class DiskScheduler {
+ public:
+  explicit DiskScheduler(const OsParams& os) : os_(&os) {}
+
+  /// Adds a process with pending io_left to the ring.
+  void enqueue(Process* proc) {
+    ring_.push_back(proc);
+    proc->state = ProcState::kDiskQueued;
+  }
+
+  /// Pops the process at the head of the ring; nullptr when idle.
+  Process* pop_next() {
+    if (ring_.empty()) return nullptr;
+    Process* proc = ring_.front();
+    ring_.pop_front();
+    return proc;
+  }
+
+  /// Slice duration for the given process: one page access, or the
+  /// remainder if smaller.
+  Time slice_for(const Process& proc) const {
+    return proc.io_left < os_->io_page_access ? proc.io_left
+                                              : os_->io_page_access;
+  }
+
+  bool empty() const { return ring_.empty(); }
+  std::size_t size() const { return ring_.size(); }
+
+ private:
+  const OsParams* os_;
+  std::deque<Process*> ring_;
+};
+
+}  // namespace wsched::sim

@@ -1,0 +1,36 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace wsched::sim {
+
+void Engine::schedule_at(Time t, Action fn) {
+  if (t < now_) t = now_;
+  queue_.push(Entry{t, seq_++, std::move(fn)});
+}
+
+void Engine::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    // priority_queue::top() is const; the action is moved out via the pop.
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_ = entry.t;
+    ++processed_;
+    entry.fn();
+  }
+}
+
+void Engine::run_until(Time horizon) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().t <= horizon) {
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_ = entry.t;
+    ++processed_;
+    entry.fn();
+  }
+  if (now_ < horizon && !stopped_) now_ = horizon;
+}
+
+}  // namespace wsched::sim

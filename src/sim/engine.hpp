@@ -1,0 +1,61 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event loop over a (time, sequence) min-heap. Ties in
+// time break by insertion order, which makes runs fully deterministic.
+// Cancellation is lazy: components that may need to invalidate an event
+// capture an epoch counter and no-op when it is stale (see sim::Node).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace wsched::sim {
+
+class Engine {
+ public:
+  using Action = std::function<void()>;
+
+  Time now() const { return now_; }
+  std::uint64_t events_processed() const { return processed_; }
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Schedules `fn` at absolute time t (>= now; earlier times are clamped
+  /// to now so floating-point-derived durations can't move time backwards).
+  void schedule_at(Time t, Action fn);
+  void schedule_after(Time dt, Action fn) { schedule_at(now_ + dt, fn); }
+
+  /// Runs until the queue drains or stop() is called.
+  void run();
+
+  /// Runs while events exist with time <= horizon; leaves later events
+  /// queued and advances now() to min(horizon, last event time).
+  void run_until(Time horizon);
+
+  /// Makes run()/run_until() return after the current event completes.
+  void stop() { stopped_ = true; }
+
+ private:
+  struct Entry {
+    Time t;
+    std::uint64_t seq;
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace wsched::sim

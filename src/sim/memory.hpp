@@ -1,0 +1,66 @@
+// Demand-paged memory model (§5.1: "The memory management maintains a set
+// of free pages and allocates a number of pages to a new process. For each
+// request, a memory size requirement is provided and the system generates
+// working-set oriented access patterns to stress the demand-based paging
+// scheme.").
+//
+// The model is intentionally coarse: a process is granted
+// min(working set, free pages); any shortfall shows up as additional paging
+// I/O time (one page access per missing page, re-incurred as the working
+// set cycles), capped at `paging_penalty_cap` times the request's own
+// demand. This produces the paper's qualitative effect — memory-hungry CGI
+// crowds out room for static serving and degrades I/O-bound work — without
+// per-page events.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/params.hpp"
+#include "util/time.hpp"
+
+namespace wsched::sim {
+
+class MemoryManager {
+ public:
+  explicit MemoryManager(const OsParams& os) : os_(&os) {}
+
+  std::uint32_t capacity_pages() const { return os_->memory_pages; }
+  std::uint32_t used_pages() const { return used_; }
+  std::uint32_t free_pages() const { return os_->memory_pages - used_; }
+
+  struct Allocation {
+    std::uint32_t granted = 0;
+    /// Extra I/O the process will spend paging (0 when fully resident).
+    Time paging_io = 0;
+  };
+
+  /// Grants up to `working_set` pages and computes the paging penalty for
+  /// the shortfall given the request's nominal demand.
+  Allocation allocate(std::uint32_t working_set, Time demand) {
+    Allocation result;
+    result.granted = std::min(working_set, free_pages());
+    used_ += result.granted;
+    const std::uint32_t shortfall = working_set - result.granted;
+    if (shortfall > 0) {
+      const Time raw =
+          static_cast<Time>(shortfall) * os_->io_page_access;
+      const Time cap = static_cast<Time>(
+          static_cast<double>(demand) * os_->paging_penalty_cap);
+      result.paging_io = std::min(raw, cap);
+    }
+    return result;
+  }
+
+  /// Returns pages granted earlier. Over-freeing is a logic error and is
+  /// clamped defensively.
+  void release(std::uint32_t granted) {
+    used_ -= std::min(granted, used_);
+  }
+
+ private:
+  const OsParams* os_;
+  std::uint32_t used_ = 0;
+};
+
+}  // namespace wsched::sim

@@ -1,0 +1,242 @@
+#include "sim/node.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wsched::sim {
+
+Node::Node(Engine& engine, const OsParams& os, NodeParams params, int id)
+    : engine_(engine),
+      os_(os),
+      params_(params),
+      id_(id),
+      cpu_sched_(os),
+      disk_sched_(os),
+      memory_(os) {}
+
+Time Node::cpu_wall(Time work) const {
+  return static_cast<Time>(static_cast<double>(work) / params_.cpu_speed +
+                           0.5);
+}
+
+Time Node::disk_wall(Time work) const {
+  return static_cast<Time>(static_cast<double>(work) / params_.disk_speed +
+                           0.5);
+}
+
+void Node::submit(Job job) {
+  auto owned = std::make_unique<Process>();
+  Process* proc = owned.get();
+  proc->job = std::move(job);
+  proc->node_arrival = engine_.now();
+
+  const trace::TraceRecord& req = proc->job.request;
+  proc->cycles = plan_bursts(req.service_demand, req.cpu_fraction, os_);
+
+  // "every CGI request requires the creation of a new process" — fork cost
+  // is CPU work at the front of the first burst.
+  if (req.is_dynamic()) proc->cycles.front().cpu += os_.fork_overhead;
+
+  // Memory: grant the working set; shortfall becomes paging I/O spread
+  // evenly over the cycles.
+  const MemoryManager::Allocation alloc =
+      memory_.allocate(req.mem_pages, req.service_demand);
+  proc->granted_pages = alloc.granted;
+  if (alloc.paging_io > 0) {
+    const Time per_cycle =
+        alloc.paging_io / static_cast<Time>(proc->cycles.size());
+    for (auto& cycle : proc->cycles) cycle.io += per_cycle;
+    proc->cycles.back().io +=
+        alloc.paging_io - per_cycle * static_cast<Time>(proc->cycles.size());
+  }
+
+  proc->live_index = live_.size();
+  live_.push_back(std::move(owned));
+  ensure_tick();
+
+  proc->load_cycle();
+  route(proc);
+}
+
+void Node::route(Process* proc) {
+  while (true) {
+    if (proc->cpu_left > 0) {
+      enter_ready(proc);
+      return;
+    }
+    if (proc->io_left > 0) {
+      enter_disk(proc);
+      return;
+    }
+    if (!proc->advance_cycle()) {
+      complete(proc);
+      return;
+    }
+  }
+}
+
+void Node::enter_ready(Process* proc) {
+  cpu_sched_.enqueue(proc);
+  if (running_ != nullptr && cpu_sched_.preempts(*proc, *running_))
+    preempt_running();
+  try_dispatch();
+}
+
+void Node::preempt_running() {
+  Process* proc = running_;
+  const Time now = engine_.now();
+  // Work actually performed this slice; the slice may be cut during the
+  // context-switch window, in which case no work has happened yet.
+  Time wall_used = std::max<Time>(0, now - slice_start_);
+  Time work_used =
+      std::min(slice_work_, static_cast<Time>(
+                                static_cast<double>(wall_used) *
+                                    params_.cpu_speed +
+                                0.5));
+  wall_used = cpu_wall(work_used);
+  proc->p_cpu += work_used;
+  proc->cpu_left -= std::min(proc->cpu_left, work_used);
+  cpu_busy_ += wall_used;
+  total_cpu_service_ += work_used;
+  running_ = nullptr;
+  ++cpu_epoch_;  // cancel the scheduled slice-end event
+  cpu_sched_.enqueue(proc);
+}
+
+void Node::try_dispatch() {
+  if (running_ != nullptr || cpu_sched_.empty()) return;
+  Process* proc = cpu_sched_.pop_best();
+  proc->state = ProcState::kRunning;
+  running_ = proc;
+
+  const Time cs = (proc == last_on_cpu_) ? 0 : os_.context_switch;
+  cpu_busy_ += cs;
+  total_context_switch_ += cs;
+  last_on_cpu_ = proc;
+
+  slice_start_ = engine_.now() + cs;
+  slice_work_ = std::min(os_.cpu_quantum, proc->cpu_left);
+  const std::uint64_t token = ++cpu_epoch_;
+  engine_.schedule_at(slice_start_ + cpu_wall(slice_work_),
+                      [this, token] { on_cpu_slice_end(token); });
+}
+
+void Node::on_cpu_slice_end(std::uint64_t token) {
+  if (token != cpu_epoch_) return;  // preempted; stale event
+  Process* proc = running_;
+  assert(proc != nullptr);
+  proc->p_cpu += slice_work_;
+  proc->cpu_left -= std::min(proc->cpu_left, slice_work_);
+  cpu_busy_ += cpu_wall(slice_work_);
+  total_cpu_service_ += slice_work_;
+  running_ = nullptr;
+  ++cpu_epoch_;
+
+  if (proc->cpu_left > 0) {
+    // Quantum expiry: back of the (re-derived) priority level.
+    cpu_sched_.enqueue(proc);
+  } else if (proc->io_left > 0) {
+    enter_disk(proc);
+  } else {
+    finish_cycle(proc);
+  }
+  try_dispatch();
+}
+
+void Node::enter_disk(Process* proc) {
+  disk_sched_.enqueue(proc);
+  try_disk();
+}
+
+void Node::try_disk() {
+  if (disk_active_ != nullptr || disk_sched_.empty()) return;
+  Process* proc = disk_sched_.pop_next();
+  proc->state = ProcState::kDiskActive;
+  disk_active_ = proc;
+  disk_slice_start_ = engine_.now();
+  disk_slice_work_ = disk_sched_.slice_for(*proc);
+  engine_.schedule_at(disk_slice_start_ + disk_wall(disk_slice_work_),
+                      [this] { on_disk_slice_end(); });
+}
+
+void Node::on_disk_slice_end() {
+  Process* proc = disk_active_;
+  assert(proc != nullptr);
+  proc->io_left -= std::min(proc->io_left, disk_slice_work_);
+  disk_busy_ += disk_wall(disk_slice_work_);
+  total_disk_service_ += disk_slice_work_;
+  disk_active_ = nullptr;
+
+  if (proc->io_left > 0) {
+    disk_sched_.enqueue(proc);  // round-robin: back of the ring
+  } else {
+    finish_cycle(proc);
+  }
+  try_disk();
+}
+
+void Node::finish_cycle(Process* proc) {
+  if (!proc->advance_cycle()) {
+    complete(proc);
+    return;
+  }
+  route(proc);
+}
+
+void Node::complete(Process* proc) {
+  proc->state = ProcState::kDone;
+  memory_.release(proc->granted_pages);
+  ++completed_;
+  const Job job = std::move(proc->job);
+
+  // Remove from the live table (swap-with-last).
+  const std::size_t idx = proc->live_index;
+  assert(idx < live_.size() && live_[idx].get() == proc);
+  if (last_on_cpu_ == proc) last_on_cpu_ = nullptr;
+  if (idx + 1 != live_.size()) {
+    live_[idx] = std::move(live_.back());
+    live_[idx]->live_index = idx;
+  }
+  live_.pop_back();
+
+  if (on_complete_) on_complete_(job, engine_.now());
+}
+
+void Node::ensure_tick() {
+  if (tick_active_) return;
+  tick_active_ = true;
+  engine_.schedule_after(os_.priority_update_period, [this] { on_tick(); });
+}
+
+void Node::on_tick() {
+  if (live_.empty()) {
+    tick_active_ = false;
+    return;
+  }
+  const int load = static_cast<int>(cpu_sched_.size()) +
+                   (running_ != nullptr ? 1 : 0);
+  for (const auto& proc : live_)
+    proc->p_cpu = cpu_sched_.decayed(proc->p_cpu, load);
+  cpu_sched_.rebucket_all();
+  engine_.schedule_after(os_.priority_update_period, [this] { on_tick(); });
+}
+
+Time Node::cpu_busy_until(Time now) const {
+  Time busy = cpu_busy_;
+  if (running_ != nullptr) {
+    const Time wall = cpu_wall(slice_work_);
+    busy += std::clamp<Time>(now - slice_start_, 0, wall);
+  }
+  return busy;
+}
+
+Time Node::disk_busy_until(Time now) const {
+  Time busy = disk_busy_;
+  if (disk_active_ != nullptr) {
+    const Time wall = disk_wall(disk_slice_work_);
+    busy += std::clamp<Time>(now - disk_slice_start_, 0, wall);
+  }
+  return busy;
+}
+
+}  // namespace wsched::sim

@@ -1,0 +1,111 @@
+// One simulated server node: a CPU with a BSD-style MLFQ, one disk with a
+// round-robin queue, and demand-paged memory. The Node owns its processes
+// and drives their CPU-burst / I/O-burst state machines on the shared
+// event engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/cpu_sched.hpp"
+#include "sim/disk_sched.hpp"
+#include "sim/engine.hpp"
+#include "sim/memory.hpp"
+#include "sim/params.hpp"
+#include "sim/process.hpp"
+
+namespace wsched::sim {
+
+class Node {
+ public:
+  using CompletionFn = std::function<void(const Job&, Time completion)>;
+
+  Node(Engine& engine, const OsParams& os, NodeParams params, int id);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  int id() const { return id_; }
+
+  /// Invoked when a job finishes all of its bursts.
+  void set_completion_callback(CompletionFn fn) { on_complete_ = std::move(fn); }
+
+  /// Accepts a job at the current engine time: charges fork overhead for
+  /// dynamic requests, allocates memory (incurring paging I/O on
+  /// shortfall), plans bursts and makes the process runnable.
+  void submit(Job job);
+
+  // --- load introspection (consumed by core::LoadMonitor) ---
+
+  /// Cumulative busy CPU time (context switches included) up to `now`,
+  /// counting the in-flight slice pro rata.
+  Time cpu_busy_until(Time now) const;
+  /// Cumulative busy disk time up to `now`, in-flight slice pro rata.
+  Time disk_busy_until(Time now) const;
+
+  std::size_t live_processes() const { return live_.size(); }
+  std::uint64_t completed() const { return completed_; }
+  const MemoryManager& memory() const { return memory_; }
+  const NodeParams& params() const { return params_; }
+
+  // Totals for conservation checks in tests.
+  Time total_cpu_service() const { return total_cpu_service_; }
+  Time total_disk_service() const { return total_disk_service_; }
+  Time total_context_switch() const { return total_context_switch_; }
+
+ private:
+  void route(Process* proc);
+  void enter_ready(Process* proc);
+  void try_dispatch();
+  void preempt_running();
+  void on_cpu_slice_end(std::uint64_t token);
+  void enter_disk(Process* proc);
+  void try_disk();
+  void on_disk_slice_end();
+  void finish_cycle(Process* proc);
+  void complete(Process* proc);
+  void ensure_tick();
+  void on_tick();
+
+  /// Converts CPU work (reference seconds) to wall time on this node.
+  Time cpu_wall(Time work) const;
+  Time disk_wall(Time work) const;
+
+  Engine& engine_;
+  const OsParams& os_;
+  NodeParams params_;
+  int id_;
+
+  CpuScheduler cpu_sched_;
+  DiskScheduler disk_sched_;
+  MemoryManager memory_;
+
+  std::vector<std::unique_ptr<Process>> live_;
+
+  // CPU dispatch state. `cpu_epoch_` lazily cancels stale slice-end events.
+  Process* running_ = nullptr;
+  Process* last_on_cpu_ = nullptr;
+  std::uint64_t cpu_epoch_ = 0;
+  Time slice_start_ = 0;    ///< wall time the slice begins (after any switch)
+  Time slice_work_ = 0;     ///< planned CPU work in the slice (ref seconds)
+
+  // Disk state; disk slices are never preempted, so no epoch is needed.
+  Process* disk_active_ = nullptr;
+  Time disk_slice_start_ = 0;
+  Time disk_slice_work_ = 0;
+
+  bool tick_active_ = false;
+
+  CompletionFn on_complete_;
+
+  Time cpu_busy_ = 0;   ///< completed busy wall time (incl. switches)
+  Time disk_busy_ = 0;
+  std::uint64_t completed_ = 0;
+  Time total_cpu_service_ = 0;
+  Time total_disk_service_ = 0;
+  Time total_context_switch_ = 0;
+};
+
+}  // namespace wsched::sim

@@ -1,0 +1,42 @@
+// OS-model constants from Section 5.1 of the paper, plus per-node knobs for
+// the heterogeneous extension the paper lists as future work.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace wsched::sim {
+
+/// Cluster-wide OS parameters ("the system overhead charged in the
+/// simulation is based on current high-end server performance").
+struct OsParams {
+  Time cpu_quantum = 10 * kMillisecond;
+  Time priority_update_period = 100 * kMillisecond;
+  Time context_switch = 50 * kMicrosecond;
+  Time fork_overhead = 3 * kMillisecond;
+  Time remote_cgi_latency = 1 * kMillisecond;  ///< TCP connect, excl. fork
+  /// Average I/O burst for accessing one 8 KB page.
+  Time io_page_access = 2 * kMillisecond;
+  std::uint32_t page_bytes = 8192;
+  /// Physical memory per node in pages (256 MB of 8 KB pages by default).
+  std::uint32_t memory_pages = 32768;
+  /// Number of MLFQ priority levels.
+  int priority_levels = 32;
+  /// One level per this much accumulated (decayed) CPU time.
+  Time priority_granularity = 10 * kMillisecond;
+  /// Target I/O chunk between CPU phases when planning bursts (the process
+  /// alternates CPU and I/O; ~4 page accesses per I/O phase).
+  Time io_cycle_target = 8 * kMillisecond;
+  /// Paging penalty cap as a multiple of the request's own demand, so a
+  /// badly overcommitted node degrades sharply but not unboundedly.
+  double paging_penalty_cap = 2.0;
+};
+
+/// Per-node speed factors (1.0 = the homogeneous baseline).
+struct NodeParams {
+  double cpu_speed = 1.0;   ///< CPU bursts take cpu_time / cpu_speed
+  double disk_speed = 1.0;  ///< I/O slices take io_time / disk_speed
+};
+
+}  // namespace wsched::sim

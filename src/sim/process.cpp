@@ -1,0 +1,35 @@
+#include "sim/process.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wsched::sim {
+
+std::vector<BurstCycle> plan_bursts(Time demand, double w,
+                                    const OsParams& os) {
+  w = std::clamp(w, 0.0, 1.0);
+  if (demand < 0) demand = 0;
+  const Time cpu_total =
+      static_cast<Time>(static_cast<double>(demand) * w + 0.5);
+  const Time io_total = demand - cpu_total;
+
+  std::size_t cycles = 1;
+  if (io_total > 0 && os.io_cycle_target > 0) {
+    cycles = static_cast<std::size_t>(std::max<Time>(
+        1, (io_total + os.io_cycle_target / 2) / os.io_cycle_target));
+  }
+
+  std::vector<BurstCycle> plan(cycles);
+  const Time cpu_each = cpu_total / static_cast<Time>(cycles);
+  const Time io_each = io_total / static_cast<Time>(cycles);
+  for (auto& cycle : plan) {
+    cycle.cpu = cpu_each;
+    cycle.io = io_each;
+  }
+  // Conserve totals exactly: the last cycle absorbs integer remainders.
+  plan.back().cpu += cpu_total - cpu_each * static_cast<Time>(cycles);
+  plan.back().io += io_total - io_each * static_cast<Time>(cycles);
+  return plan;
+}
+
+}  // namespace wsched::sim

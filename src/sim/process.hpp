@@ -1,0 +1,75 @@
+// Simulated request-handling processes.
+//
+// "Each request job will be modeled as a sequence of CPU bursts and I/O
+// bursts, submitted to the CPU queue and I/O queue." (§5.1). A process owns
+// its burst plan and its BSD-style decayed CPU usage; the Node drives its
+// state machine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/params.hpp"
+#include "trace/record.hpp"
+#include "util/time.hpp"
+
+namespace wsched::sim {
+
+/// One work item dispatched to a node.
+struct Job {
+  std::uint64_t id = 0;
+  trace::TraceRecord request;
+  Time cluster_arrival = 0;  ///< arrival at the cluster front end
+  bool remote = false;       ///< executed away from the receiving master
+  int receiver = 0;          ///< node that accepted the request
+};
+
+/// Alternating CPU / I/O demand, one entry per cycle.
+struct BurstCycle {
+  Time cpu = 0;
+  Time io = 0;
+};
+
+/// Splits a service demand into alternating CPU/I/O cycles. The CPU share
+/// is `w`; the I/O total is carved into ~io_cycle_target chunks. Totals are
+/// conserved exactly (the last cycle absorbs rounding).
+std::vector<BurstCycle> plan_bursts(Time demand, double w,
+                                    const OsParams& os);
+
+enum class ProcState : std::uint8_t {
+  kReady,       ///< in the CPU ready queue
+  kRunning,     ///< holding the CPU
+  kDiskQueued,  ///< waiting in the disk round-robin ring
+  kDiskActive,  ///< the disk is transferring for this process
+  kDone,
+};
+
+struct Process {
+  Job job;
+  std::vector<BurstCycle> cycles;
+  std::size_t cycle = 0;       ///< current cycle index
+  Time cpu_left = 0;           ///< CPU time left in the current cycle
+  Time io_left = 0;            ///< I/O time left in the current cycle
+  ProcState state = ProcState::kReady;
+  /// BSD-style decayed CPU usage; determines the MLFQ level.
+  Time p_cpu = 0;
+  /// Pages actually granted by the memory manager (freed on completion).
+  std::uint32_t granted_pages = 0;
+  Time node_arrival = 0;
+  /// Index into the owning Node's live-process table (for O(1) removal).
+  std::size_t live_index = 0;
+
+  /// Loads the next cycle's work; returns false when no cycles remain.
+  bool load_cycle() {
+    if (cycle >= cycles.size()) return false;
+    cpu_left = cycles[cycle].cpu;
+    io_left = cycles[cycle].io;
+    return true;
+  }
+  bool advance_cycle() {
+    ++cycle;
+    return load_cycle();
+  }
+};
+
+}  // namespace wsched::sim

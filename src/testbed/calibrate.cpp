@@ -1,0 +1,60 @@
+#include "testbed/calibrate.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+
+namespace wsched::testbed {
+
+std::uint64_t SpinCalibration::spin_iterations(std::uint64_t iterations) {
+  // SplitMix-style mixing: cheap, data-dependent, not vectorizable away.
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x += i;
+  }
+  // The caller stores the result into a volatile sink in spin_for; for
+  // direct callers, returning it is enough to keep the loop alive.
+  return x;
+}
+
+SpinCalibration SpinCalibration::measure(int sample_ms) {
+  using clock = std::chrono::steady_clock;
+  volatile std::uint64_t sink = 0;
+  std::uint64_t chunk = 1 << 16;
+  std::uint64_t total = 0;
+  const auto start = clock::now();
+  const auto deadline = start + std::chrono::milliseconds(sample_ms);
+  while (clock::now() < deadline) {
+    sink = sink + spin_iterations(chunk);
+    total += chunk;
+  }
+  const double elapsed =
+      std::chrono::duration<double>(clock::now() - start).count();
+  (void)sink;
+  return SpinCalibration(elapsed > 0 ? static_cast<double>(total) / elapsed
+                                     : 1e8);
+}
+
+const SpinCalibration& SpinCalibration::shared() {
+  static const SpinCalibration instance = [] {
+    std::array<double, 3> rates{};
+    for (double& rate : rates) rate = measure(150).iterations_per_second();
+    std::sort(rates.begin(), rates.end());
+    return SpinCalibration(rates[1]);
+  }();
+  return instance;
+}
+
+void SpinCalibration::spin_for(double seconds) const {
+  if (seconds <= 0) return;
+  volatile std::uint64_t sink = 0;
+  const auto iterations =
+      static_cast<std::uint64_t>(seconds * iterations_per_second_);
+  sink = sink + spin_iterations(iterations);
+  (void)sink;
+}
+
+}  // namespace wsched::testbed

@@ -1,0 +1,44 @@
+// CPU spin calibration for the real-execution testbed.
+//
+// The paper's Sun-cluster validation ran a WebSTONE CGI script modified to
+// "control the running time of the script ... by CPU busy-spinning". The
+// testbed does the same: a calibrated spin kernel converts a requested
+// number of CPU-seconds into loop iterations, so CPU bursts consume real
+// cycles (and really contend) rather than sleeping.
+#pragma once
+
+#include <cstdint>
+
+namespace wsched::testbed {
+
+class SpinCalibration {
+ public:
+  /// Measures the spin kernel's throughput over ~`sample_ms` milliseconds.
+  static SpinCalibration measure(int sample_ms = 200);
+
+  /// Process-wide calibration: measured once (median of three samples) on
+  /// first use and reused afterwards, so every testbed run in a comparison
+  /// works from the same clock. Per-run calibration would fold transient
+  /// host noise into one scheduler variant's CPU bursts and bias ratios.
+  static const SpinCalibration& shared();
+
+  /// Constructs from a known rate (for tests).
+  explicit SpinCalibration(double iterations_per_second)
+      : iterations_per_second_(iterations_per_second) {}
+
+  double iterations_per_second() const { return iterations_per_second_; }
+
+  /// Busy-spins for approximately `seconds` of CPU work at calibration
+  /// speed. Under contention this takes longer in wall time — that is the
+  /// point: the work is a fixed cycle count.
+  void spin_for(double seconds) const;
+
+  /// The raw kernel: runs `iterations` of the mixing loop and returns a
+  /// value the optimizer cannot elide.
+  static std::uint64_t spin_iterations(std::uint64_t iterations);
+
+ private:
+  double iterations_per_second_ = 1e8;
+};
+
+}  // namespace wsched::testbed

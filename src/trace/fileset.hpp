@@ -1,0 +1,52 @@
+// The SPECweb96 file working set.
+//
+// The paper replays static requests against "the 40 representative files
+// from SPECweb96". SPECweb96's actual working set is 4 size classes
+// (0.1–0.9 KB, 1–9 KB, 10–90 KB, 100–900 KB), 9 files per class spaced
+// evenly within the class — 36 files, which the paper rounds to 40 —
+// accessed with class weights 35% / 50% / 14% / 1%. For each logged file
+// request, "the file in this set with the closest size is returned" —
+// mirrored by closest_file().
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace wsched::trace {
+
+struct SpecFile {
+  std::uint32_t size_bytes = 0;
+  int size_class = 0;  ///< 0..3
+};
+
+class SpecWebFileSet {
+ public:
+  static constexpr int kClasses = 4;
+  static constexpr int kFilesPerClass = 9;
+  static constexpr int kFileCount = kClasses * kFilesPerClass;
+
+  SpecWebFileSet();
+
+  const SpecFile& file(int index) const { return files_.at(index); }
+  int count() const { return kFileCount; }
+
+  /// Index of the file whose size is closest to `size_bytes` (ties go to
+  /// the smaller file), i.e. the paper's replay substitution rule.
+  int closest_file(std::uint32_t size_bytes) const;
+
+  /// Draws a file according to the SPECweb96 class access mix
+  /// (35/50/14/1) and uniform choice within a class.
+  int sample(Rng& rng) const;
+
+  /// Class access probabilities.
+  static constexpr std::array<double, kClasses> class_mix() {
+    return {0.35, 0.50, 0.14, 0.01};
+  }
+
+ private:
+  std::array<SpecFile, kFileCount> files_{};
+};
+
+}  // namespace wsched::trace

@@ -1,0 +1,60 @@
+// Synthetic trace generation (the paper's replay rules, §5.1).
+//
+// The generator reproduces how the paper turned its logs into experiment
+// input: arrival intervals are rescaled to a target rate ("requests in each
+// log are issued to the cluster at various fast rates"), static requests are
+// replayed against the SPECweb96 40-file set ("the file in this set with the
+// closest size is returned"), and CGI bodies become synthetic loads whose
+// mean demand is 1/(r * mu_h) with the profile's CPU/IO split.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/fileset.hpp"
+#include "trace/profile.hpp"
+#include "trace/record.hpp"
+#include "util/rng.hpp"
+
+namespace wsched::trace {
+
+struct GeneratorConfig {
+  WorkloadProfile profile;
+  /// Target total arrival rate in requests/second (the paper's scaled
+  /// replay rate lambda). Must be > 0.
+  double lambda = 1000.0;
+  /// Trace length in (simulated) seconds of arrivals.
+  double duration_s = 10.0;
+  /// Static service rate of one node (SPECweb96-calibrated 1200/s for the
+  /// simulated clusters, 110/s for the Sun validation).
+  double mu_h = 1200.0;
+  /// Service-rate ratio r = mu_c / mu_h; mean CGI demand is 1/(r*mu_h).
+  double r = 1.0 / 40.0;
+  std::uint64_t seed = 1;
+  /// Static demand follows file size (CV < 1, like real file fetches) when
+  /// true; pure exponential (the queueing model's assumption) when false.
+  bool size_coupled_static = true;
+  /// Distinct dynamic content items (URL+parameter combinations); request
+  /// popularity over them is Zipf(cgi_zipf_s). Drives the CGI-caching
+  /// extension; set to 0 to make every dynamic request unique.
+  std::uint64_t cgi_distinct_urls = 5000;
+  double cgi_zipf_s = 0.9;
+  /// Optional 2-state MMPP burstiness: when on, arrivals alternate between
+  /// a calm and a flash-crowd phase with the same long-run rate lambda.
+  bool bursty = false;
+  double burst_rate_multiplier = 3.0;  ///< flash-phase rate multiplier
+  double burst_fraction = 0.2;         ///< long-run fraction of time in flash
+};
+
+/// Mean size in bytes of the SPECweb96 access mix; static demands are
+/// normalized by this so E[static demand] == 1/mu_h regardless of coupling.
+double specweb_mean_bytes();
+
+/// Generates a trace; deterministic in (config, seed).
+Trace generate(const GeneratorConfig& config);
+
+/// Rescales an existing trace's inter-arrival times so that its overall
+/// arrival rate becomes `lambda` (the paper's interval scaling). Relative
+/// spacing is preserved. No-op on traces with fewer than 2 records.
+void rescale_to_rate(Trace& trace, double lambda);
+
+}  // namespace wsched::trace

@@ -1,0 +1,93 @@
+#include "trace/profile.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace wsched::trace {
+
+WorkloadProfile dec_profile() {
+  WorkloadProfile p;
+  p.name = "DEC";
+  p.year = 1996;
+  p.cgi_fraction = 0.087;
+  p.native_interval_s = 0.09;
+  p.html_mean_bytes = 8821;
+  p.cgi_mean_bytes = 5735;
+  p.cgi_cpu_fraction = 0.95;  // scrambled CGI replayed as CPU spin, like UCB
+  p.reference_requests = 24.5e6;
+  return p;
+}
+
+WorkloadProfile ucb_profile() {
+  WorkloadProfile p;
+  p.name = "UCB";
+  p.year = 1996;
+  p.cgi_fraction = 0.112;
+  p.native_interval_s = 0.139;
+  p.html_mean_bytes = 7519;
+  p.cgi_mean_bytes = 4591;
+  // WebSTONE busy-spin substitution: CPU-intensive CGI, with a minority of
+  // output-heavy scripts whose time goes to writing the generated file.
+  p.cgi_cpu_fraction = 0.95;
+  p.cgi_types = {{0.85, 0.95}, {0.15, 0.40}};
+  p.cgi_mem_pages_mean = 192;
+  p.reference_requests = 9.2e6;
+  return p;
+}
+
+WorkloadProfile ksu_profile() {
+  WorkloadProfile p;
+  p.name = "KSU";
+  p.year = 1998;
+  p.cgi_fraction = 0.291;
+  p.native_interval_s = 18.486;
+  p.html_mean_bytes = 482;
+  p.cgi_mean_bytes = 8730;
+  // WebGlimpse substitution: ~90% of service time searching the in-memory
+  // index, but cold-index/large-result searches go to disk.
+  p.cgi_cpu_fraction = 0.90;
+  p.cgi_types = {{0.75, 0.95}, {0.25, 0.35}};
+  p.cgi_mem_pages_mean = 384;
+  p.reference_requests = 47364;
+  return p;
+}
+
+WorkloadProfile adl_profile() {
+  WorkloadProfile p;
+  p.name = "ADL";
+  p.year = 1997;
+  p.cgi_fraction = 0.443;
+  p.native_interval_s = 22.418;
+  p.html_mean_bytes = 2186;
+  p.cgi_mean_bytes = 2027;
+  // ADL catalog substitution: ~90% of service time in disk access for
+  // catalog fetches; a minority of requests (spatial footprint
+  // computation, wavelet subsetting) are CPU-bound.
+  p.cgi_cpu_fraction = 0.10;
+  p.cgi_types = {{0.80, 0.08}, {0.20, 0.70}};
+  p.cgi_mem_pages_mean = 512;
+  p.reference_requests = 73610;
+  return p;
+}
+
+std::vector<WorkloadProfile> experiment_profiles() {
+  return {ucb_profile(), ksu_profile(), adl_profile()};
+}
+
+std::vector<WorkloadProfile> table1_profiles() {
+  return {dec_profile(), ucb_profile(), ksu_profile(), adl_profile()};
+}
+
+WorkloadProfile profile_by_name(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "dec") return dec_profile();
+  if (lower == "ucb") return ucb_profile();
+  if (lower == "ksu") return ksu_profile();
+  if (lower == "adl") return adl_profile();
+  throw std::invalid_argument("unknown workload profile: " + name);
+}
+
+}  // namespace wsched::trace

@@ -1,0 +1,48 @@
+// Trace records: the unit of work flowing through every experiment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace wsched::trace {
+
+/// Request classes, matching the paper's two customer classes.
+enum class RequestClass : std::uint8_t {
+  kStatic = 0,   ///< plain file fetch
+  kDynamic = 1,  ///< CGI / dynamic content generation
+};
+
+/// One replayed request. Service demand is the paper's notion: processing
+/// time on an otherwise idle node, excluding queueing and contention.
+struct TraceRecord {
+  Time arrival = 0;                  ///< arrival at the cluster front end
+  RequestClass cls = RequestClass::kStatic;
+  std::uint32_t size_bytes = 0;      ///< response size (file or CGI output)
+  Time service_demand = 0;           ///< unloaded processing time
+  double cpu_fraction = 0.5;         ///< w: share of the demand that is CPU
+  std::uint32_t mem_pages = 1;       ///< working-set size in 8 KB pages
+  /// Content identity (URL + parameters). Repeated ids denote requests for
+  /// the same content — the basis of the Swala-style CGI caching
+  /// extension. 0 means "unknown/unique".
+  std::uint64_t url_id = 0;
+
+  bool is_dynamic() const { return cls == RequestClass::kDynamic; }
+};
+
+/// A full trace plus the identity of the profile that generated it.
+struct Trace {
+  std::vector<TraceRecord> records;
+
+  bool empty() const { return records.empty(); }
+  std::size_t size() const { return records.size(); }
+  /// Time span between first and last arrival (0 for < 2 records).
+  Time span() const {
+    return records.size() < 2 ? 0
+                              : records.back().arrival -
+                                    records.front().arrival;
+  }
+};
+
+}  // namespace wsched::trace

@@ -1,0 +1,23 @@
+// CSV persistence for traces, so generated workloads can be inspected,
+// archived, and replayed byte-identically across tool invocations.
+//
+// Format: header line, then one row per record:
+//   arrival_ns,class,size_bytes,service_demand_ns,cpu_fraction,mem_pages
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/record.hpp"
+
+namespace wsched::trace {
+
+void save_trace(std::ostream& out, const Trace& trace);
+void save_trace_file(const std::string& path, const Trace& trace);
+
+/// Parses a trace written by save_trace. Throws std::runtime_error on
+/// malformed input (wrong column count, unparsable numbers, bad class).
+Trace load_trace(std::istream& in);
+Trace load_trace_file(const std::string& path);
+
+}  // namespace wsched::trace

@@ -1,0 +1,50 @@
+#include "trace/trace_stats.hpp"
+
+#include "util/stats.hpp"
+
+namespace wsched::trace {
+
+TraceStats compute_stats(const Trace& trace) {
+  TraceStats stats;
+  stats.requests = trace.size();
+  if (trace.empty()) return stats;
+
+  RunningStats html_bytes, cgi_bytes, static_demand, dynamic_demand;
+  for (const auto& rec : trace.records) {
+    if (rec.is_dynamic()) {
+      ++stats.dynamic_requests;
+      cgi_bytes.add(rec.size_bytes);
+      dynamic_demand.add(to_seconds(rec.service_demand));
+    } else {
+      html_bytes.add(rec.size_bytes);
+      static_demand.add(to_seconds(rec.service_demand));
+    }
+  }
+  stats.cgi_fraction =
+      static_cast<double>(stats.dynamic_requests) /
+      static_cast<double>(stats.requests);
+  stats.mean_html_bytes = html_bytes.mean();
+  stats.mean_cgi_bytes = cgi_bytes.mean();
+  stats.mean_static_demand_s = static_demand.mean();
+  stats.mean_dynamic_demand_s = dynamic_demand.mean();
+  if (dynamic_demand.count() > 1 && dynamic_demand.mean() > 0)
+    stats.dynamic_demand_cv =
+        dynamic_demand.stddev() / dynamic_demand.mean();
+  if (stats.mean_dynamic_demand_s > 0)
+    stats.r_ratio = stats.mean_static_demand_s / stats.mean_dynamic_demand_s;
+
+  const std::size_t static_requests = stats.requests - stats.dynamic_requests;
+  if (static_requests > 0)
+    stats.a_ratio = static_cast<double>(stats.dynamic_requests) /
+                    static_cast<double>(static_requests);
+
+  stats.span_s = to_seconds(trace.span());
+  if (trace.size() >= 2 && stats.span_s > 0) {
+    stats.mean_interval_s =
+        stats.span_s / static_cast<double>(trace.size() - 1);
+    stats.arrival_rate = 1.0 / stats.mean_interval_s;
+  }
+  return stats;
+}
+
+}  // namespace wsched::trace

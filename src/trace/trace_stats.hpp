@@ -1,0 +1,32 @@
+// Trace characterization — reproduces the columns of Table 1 plus the
+// derived quantities the experiments need (a, per-class demand means).
+#pragma once
+
+#include <cstddef>
+
+#include "trace/record.hpp"
+
+namespace wsched::trace {
+
+struct TraceStats {
+  std::size_t requests = 0;
+  std::size_t dynamic_requests = 0;
+  double cgi_fraction = 0.0;       ///< Table 1 "% CGI" / 100
+  double mean_interval_s = 0.0;    ///< Table 1 "Average Interval"
+  double mean_html_bytes = 0.0;    ///< Table 1 "HTML size"
+  double mean_cgi_bytes = 0.0;     ///< Table 1 "CGI size"
+  double arrival_rate = 0.0;       ///< requests / second over the span
+  /// a = lambda_c / lambda_h, the queueing model's arrival-rate ratio.
+  double a_ratio = 0.0;
+  double mean_static_demand_s = 0.0;
+  double mean_dynamic_demand_s = 0.0;
+  /// r-hat = mean static demand / mean dynamic demand (estimates mu_c/mu_h).
+  double r_ratio = 0.0;
+  double span_s = 0.0;
+  /// Coefficient of variation of dynamic service demand.
+  double dynamic_demand_cv = 0.0;
+};
+
+TraceStats compute_stats(const Trace& trace);
+
+}  // namespace wsched::trace

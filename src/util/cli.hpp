@@ -1,0 +1,43 @@
+// Tiny command-line flag parser used by the bench/example binaries.
+//
+// Flags take the form --name=value or --name value; bare --name sets a
+// boolean. Unknown flags raise an error so typos in experiment scripts are
+// caught rather than silently ignored.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wsched {
+
+class CliArgs {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed input.
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  long long get_int(const std::string& name, long long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names of all flags that were provided.
+  std::vector<std::string> flag_names() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+/// Reads an environment-variable override used by experiment harnesses,
+/// e.g. WSCHED_QUICK=1 shrinks run sizes for CI. Returns fallback when the
+/// variable is unset or unparsable.
+bool env_flag(const char* name, bool fallback);
+double env_double(const char* name, double fallback);
+
+}  // namespace wsched

@@ -1,0 +1,56 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wsched {
+namespace {
+
+/// Integral of the hat function: H(x) = (x^(1-s) - 1)/(1-s), or ln x when
+/// s == 1 (limit).
+double h_integral(double x, double s) {
+  const double log_x = std::log(x);
+  if (std::abs(1.0 - s) < 1e-12) return log_x;
+  return (std::exp((1.0 - s) * log_x) - 1.0) / (1.0 - s);
+}
+
+double h_point(double x, double s) { return std::exp(-s * std::log(x)); }
+
+double h_integral_inverse(double u, double s) {
+  if (std::abs(1.0 - s) < 1e-12) return std::exp(u);
+  return std::exp(std::log(std::max(0.0, 1.0 + u * (1.0 - s))) /
+                  (1.0 - s));
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+  if (n == 0) throw std::invalid_argument("Zipf: n must be > 0");
+  if (s <= 0) throw std::invalid_argument("Zipf: s must be > 0");
+  h_x1_ = h_integral(1.5, s) - 1.0;
+  h_n_ = h_integral(static_cast<double>(n) + 0.5, s);
+  threshold_ = 2.0 - h_integral_inverse(h_integral(2.5, s) - h_point(2, s),
+                                        s);
+}
+
+double ZipfSampler::h(double x) const { return h_integral(x, s_); }
+double ZipfSampler::h_inv(double u) const {
+  return h_integral_inverse(u, s_);
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const {
+  // Hörmann & Derflinger rejection-inversion; expected iterations < 1.2.
+  for (;;) {
+    const double u = h_n_ + rng.uniform() * (h_x1_ - h_n_);
+    const double x = h_inv(u);
+    double kd = std::round(x);
+    kd = std::clamp(kd, 1.0, static_cast<double>(n_));
+    const auto k = static_cast<std::uint64_t>(kd);
+    if (kd - x <= threshold_ ||
+        u >= h(kd + 0.5) - h_point(kd, s_)) {
+      return k - 1;  // 0-based rank
+    }
+  }
+}
+
+}  // namespace wsched

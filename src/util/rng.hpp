@@ -1,0 +1,165 @@
+// Deterministic random number generation for simulations.
+//
+// Every entity that needs randomness (a trace generator, a dispatch policy,
+// a node's paging model) owns its own Rng stream, derived from a run seed
+// plus a stream identifier. This keeps runs reproducible even when the set
+// of consumers changes: adding a new consumer never perturbs the draws seen
+// by existing ones.
+//
+// The core generator is xoshiro256**, seeded through SplitMix64 as its
+// authors recommend. Distribution helpers are implemented here (rather than
+// using <random> distributions) because libstdc++/libc++ produce different
+// sequences for the same engine; these helpers are identical everywhere.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace wsched {
+
+/// SplitMix64 step, used for seeding and for hashing stream ids.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG with explicit distribution helpers.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the stream from (seed, stream). Two streams with different ids
+  /// are statistically independent for simulation purposes.
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0) {
+    std::uint64_t s = seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+    for (auto& word : state_) word = splitmix64(s);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1). 53 bits of randomness.
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0. Uses Lemire's method.
+  std::uint64_t uniform_int(std::uint64_t n) {
+    __uint128_t m = static_cast<__uint128_t>(next()) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(next()) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Exponential with the given mean (mean = 1/rate). mean must be > 0.
+  double exponential(double mean) {
+    // 1 - uniform() is in (0, 1], so the log argument is never zero.
+    return -mean * std::log(1.0 - uniform());
+  }
+
+  /// Standard normal via Box-Muller (single value; simple and stateless).
+  double normal() {
+    const double u1 = 1.0 - uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(6.283185307179586 * u2);
+  }
+
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Lognormal parameterized by the mean and sigma of the *underlying*
+  /// normal, matching std::lognormal_distribution's convention.
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Lognormal parameterized by its own mean and the shape sigma; convenient
+  /// when a workload is specified by its mean size.
+  double lognormal_mean(double mean, double sigma) {
+    const double mu = std::log(mean) - 0.5 * sigma * sigma;
+    return lognormal(mu, sigma);
+  }
+
+  /// Bounded Pareto on [lo, hi] with tail index alpha; used for heavy-tailed
+  /// Web file sizes.
+  double bounded_pareto(double alpha, double lo, double hi) {
+    const double u = uniform();
+    const double la = std::pow(lo, alpha);
+    const double ha = std::pow(hi, alpha);
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  }
+
+  /// Geometric number of trials >= 1 with success probability p.
+  std::uint64_t geometric(double p) {
+    if (p >= 1.0) return 1;
+    return 1 + static_cast<std::uint64_t>(std::log(1.0 - uniform()) /
+                                          std::log(1.0 - p));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Zipf(s) sampler over ranks [0, n): P(rank k) proportional to
+/// 1/(k+1)^s. Uses the rejection-inversion method of Hörmann & Derflinger,
+/// which needs no O(n) table and is exact for any n — Web request
+/// popularity is classically Zipf-like, which is what makes dynamic-content
+/// caching pay off.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s);
+
+  std::uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+  std::uint64_t sample(Rng& rng) const;
+
+ private:
+  double h(double x) const;
+  double h_inv(double u) const;
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;
+};
+
+}  // namespace wsched

@@ -1,0 +1,113 @@
+// Online statistics used throughout the metrics layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace wsched {
+
+/// Numerically stable single-pass accumulator (Welford) for mean/variance,
+/// plus min/max. Values are plain doubles; callers decide units.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exponentially weighted moving average for online load/ratio estimation.
+/// A fresh Ewma reports the first sample exactly.
+class Ewma {
+ public:
+  /// alpha in (0, 1]: weight of each new sample.
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void add(double x) {
+    if (!primed_) {
+      value_ = x;
+      primed_ = true;
+    } else {
+      value_ += alpha_ * (x - value_);
+    }
+  }
+
+  bool primed() const { return primed_; }
+  double value() const { return value_; }
+  void reset() { primed_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+/// Reservoir sampler + exact percentiles over the retained sample.
+/// For the run sizes in this repo the default capacity keeps percentiles
+/// exact in most experiments and tightly approximate in the largest ones.
+class PercentileSampler {
+ public:
+  explicit PercentileSampler(std::size_t capacity = 1 << 16,
+                             std::uint64_t seed = 0x5eed);
+
+  void add(double x);
+  std::size_t count() const { return seen_; }
+
+  /// q in [0, 1]; linear interpolation between closest ranks.
+  /// Returns 0 when empty.
+  double percentile(double q) const;
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t rng_state_;
+  std::size_t seen_ = 0;
+  std::vector<double> sample_;
+  mutable std::vector<double> scratch_;
+  mutable bool dirty_ = false;
+};
+
+/// Fixed-bin linear histogram over [lo, hi) with under/overflow bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+
+  /// Renders a compact ASCII sketch, one line per nonempty bin.
+  std::string ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace wsched

@@ -1,0 +1,81 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace wsched {
+
+std::string percent(double fraction, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << fraction * 100.0
+      << "%";
+  return out.str();
+}
+
+std::string fixed(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table needs headers");
+}
+
+Table& Table::row() {
+  cells_.emplace_back();
+  cells_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::cell(std::string value) {
+  if (cells_.empty()) row();
+  if (cells_.back().size() >= headers_.size())
+    throw std::out_of_range("row has more cells than headers");
+  cells_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  return cell(fixed(value, precision));
+}
+
+Table& Table::cell(long long value) { return cell(std::to_string(value)); }
+
+Table& Table::cell_percent(double fraction, int precision) {
+  return cell(percent(fraction, precision));
+}
+
+const std::string& Table::at(std::size_t r, std::size_t c) const {
+  return cells_.at(r).at(c);
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : cells_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& value = c < row.size() ? row[c] : std::string{};
+      out << std::left << std::setw(static_cast<int>(widths[c])) << value;
+      if (c + 1 < headers_.size()) out << "  ";
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  out << std::string(rule, '-') << "\n";
+  for (const auto& row : cells_) emit_row(row);
+  return out.str();
+}
+
+}  // namespace wsched

@@ -1,0 +1,41 @@
+// Aligned ASCII table rendering for benchmark/experiment output.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wsched {
+
+/// Builds fixed-column ASCII tables like the ones printed by the experiment
+/// harness. Cells are strings; numeric helpers format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add_* calls fill it left to right.
+  Table& row();
+  Table& cell(std::string value);
+  Table& cell(double value, int precision = 2);
+  Table& cell(long long value);
+  Table& cell_percent(double fraction, int precision = 1);
+
+  std::size_t rows() const { return cells_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+  const std::string& at(std::size_t r, std::size_t c) const;
+
+  /// Renders the table with a header rule, columns padded to content width.
+  std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Formats `fraction` (e.g. 0.683) as a percentage string ("68.3%").
+std::string percent(double fraction, int precision = 1);
+
+/// Formats a double with fixed precision.
+std::string fixed(double value, int precision = 2);
+
+}  // namespace wsched

@@ -1,0 +1,32 @@
+// Simulation time base.
+//
+// All simulator time is carried as integral nanoseconds so that event
+// ordering is exact and runs are bit-reproducible across platforms; doubles
+// are used only at the metric boundary (stretch factors, rates).
+#pragma once
+
+#include <cstdint>
+
+namespace wsched {
+
+/// Simulated time in nanoseconds since the start of a run.
+using Time = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1'000;
+inline constexpr Time kMillisecond = 1'000'000;
+inline constexpr Time kSecond = 1'000'000'000;
+
+/// Converts a duration in seconds (e.g. a sampled service demand) to Time.
+/// Negative inputs clamp to zero: durations are never negative.
+constexpr Time from_seconds(double s) {
+  if (s <= 0.0) return 0;
+  return static_cast<Time>(s * static_cast<double>(kSecond) + 0.5);
+}
+
+/// Converts a Time back to floating-point seconds for reporting.
+constexpr double to_seconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+}  // namespace wsched

@@ -1,0 +1,173 @@
+// Tests for the metrics layer and property-style sweeps over the node
+// model: conservation of service demand and busy accounting across the
+// (cpu-share, demand, node-speed) grid, and stretch bookkeeping rules.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/metrics.hpp"
+#include "sim/engine.hpp"
+#include "sim/node.hpp"
+#include "util/time.hpp"
+
+namespace wsched {
+namespace {
+
+sim::Job job_with(Time arrival, Time demand, bool dynamic) {
+  sim::Job job;
+  job.request.cls = dynamic ? trace::RequestClass::kDynamic
+                            : trace::RequestClass::kStatic;
+  job.request.service_demand = demand;
+  job.cluster_arrival = arrival;
+  return job;
+}
+
+TEST(Metrics, StretchIsResponseOverDemand) {
+  core::MetricsCollector metrics(0, 0);
+  metrics.record(job_with(0, 10 * kMillisecond, false), 25 * kMillisecond);
+  const core::MetricsSummary s = metrics.summary();
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_DOUBLE_EQ(s.stretch, 2.5);
+  EXPECT_DOUBLE_EQ(s.stretch_static, 2.5);
+  EXPECT_EQ(s.completed_dynamic, 0u);
+}
+
+TEST(Metrics, DynamicDemandBasisIncludesFork) {
+  const Time fork = 3 * kMillisecond;
+  core::MetricsCollector metrics(0, fork);
+  // Response 26ms over demand 10+3: stretch 2.0.
+  metrics.record(job_with(0, 10 * kMillisecond, true), 26 * kMillisecond);
+  EXPECT_DOUBLE_EQ(metrics.summary().stretch_dynamic, 2.0);
+}
+
+TEST(Metrics, WarmupExcluded) {
+  core::MetricsCollector metrics(kSecond, 0);
+  metrics.record(job_with(kSecond - 1, kMillisecond, false),
+                 kSecond + kMillisecond);
+  EXPECT_EQ(metrics.summary().completed, 0u);
+  metrics.record(job_with(kSecond, kMillisecond, false),
+                 kSecond + 2 * kMillisecond);
+  EXPECT_EQ(metrics.summary().completed, 1u);
+}
+
+TEST(Metrics, PerClassSplit) {
+  core::MetricsCollector metrics(0, 0);
+  metrics.record(job_with(0, kMillisecond, false), 2 * kMillisecond);
+  metrics.record(job_with(0, kMillisecond, false), 4 * kMillisecond);
+  metrics.record(job_with(0, 10 * kMillisecond, true), 10 * kMillisecond);
+  const core::MetricsSummary s = metrics.summary();
+  EXPECT_EQ(s.completed_static, 2u);
+  EXPECT_EQ(s.completed_dynamic, 1u);
+  EXPECT_DOUBLE_EQ(s.stretch_static, 3.0);
+  EXPECT_DOUBLE_EQ(s.stretch_dynamic, 1.0);
+  EXPECT_DOUBLE_EQ(s.stretch, (2.0 + 4.0 + 1.0) / 3.0);
+  EXPECT_DOUBLE_EQ(s.max_stretch, 4.0);
+}
+
+TEST(Metrics, ZeroAndNegativeGuards) {
+  core::MetricsCollector metrics(0, 0);
+  // Completion at arrival and zero demand must not divide by zero.
+  metrics.record(job_with(5, 0, false), 5);
+  const core::MetricsSummary s = metrics.summary();
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_GE(s.stretch, 0.0);
+}
+
+TEST(Metrics, ResponsePercentiles) {
+  core::MetricsCollector metrics(0, 0);
+  for (int i = 1; i <= 100; ++i)
+    metrics.record(job_with(0, kMillisecond, false),
+                   i * kMillisecond);
+  const core::MetricsSummary s = metrics.summary();
+  EXPECT_NEAR(s.p95_response_s, 0.095, 0.002);
+  EXPECT_NEAR(s.p99_response_s, 0.099, 0.002);
+  EXPECT_NEAR(s.mean_response_s, 0.0505, 0.001);
+}
+
+// Property sweep: for any (w, demand, speed) the node conserves service
+// demand exactly and its busy counters account for every nanosecond of
+// work plus context switches.
+class NodeConservationSweep
+    : public ::testing::TestWithParam<std::tuple<double, Time, double>> {};
+
+TEST_P(NodeConservationSweep, DemandConservedAndAccounted) {
+  const auto [w, demand, speed] = GetParam();
+  sim::Engine engine;
+  sim::OsParams os;
+  sim::NodeParams params;
+  params.cpu_speed = speed;
+  sim::Node node(engine, os, params, 0);
+  int done = 0;
+  node.set_completion_callback([&](const sim::Job&, Time) { ++done; });
+  constexpr int kJobs = 8;
+  engine.schedule_at(0, [&] {
+    for (int i = 0; i < kJobs; ++i) {
+      sim::Job job;
+      job.id = static_cast<std::uint64_t>(i);
+      job.request.service_demand = demand;
+      job.request.cpu_fraction = w;
+      job.request.mem_pages = 4;
+      node.submit(job);
+    }
+  });
+  engine.run();
+  EXPECT_EQ(done, kJobs);
+  const Time serviced =
+      node.total_cpu_service() + node.total_disk_service();
+  EXPECT_NEAR(static_cast<double>(serviced),
+              static_cast<double>(demand) * kJobs, 2.0 * kJobs);
+  const Time end = engine.now();
+  // Busy wall time == service wall time + switches (cpu service is wall /
+  // speed-scaled).
+  const double expected_cpu_wall =
+      static_cast<double>(node.total_cpu_service()) / speed +
+      static_cast<double>(node.total_context_switch());
+  EXPECT_NEAR(static_cast<double>(node.cpu_busy_until(end)),
+              expected_cpu_wall, 64.0 * kJobs);
+  EXPECT_EQ(node.live_processes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, NodeConservationSweep,
+    ::testing::Combine(
+        ::testing::Values(0.0, 0.1, 0.5, 0.9, 1.0),
+        ::testing::Values(Time{500 * kMicrosecond}, Time{3 * kMillisecond},
+                          Time{27 * kMillisecond}, Time{133 * kMillisecond}),
+        ::testing::Values(0.5, 1.0, 2.0)));
+
+// Property sweep: response time never beats the unloaded demand (stretch
+// >= ~1 modulo speed scaling) and is finite.
+class NodeLatencySweep
+    : public ::testing::TestWithParam<std::tuple<double, Time>> {};
+
+TEST_P(NodeLatencySweep, SingleJobLatencyAtLeastDemand) {
+  const auto [w, demand] = GetParam();
+  sim::Engine engine;
+  sim::OsParams os;
+  sim::Node node(engine, os, {}, 0);
+  Time completion = -1;
+  node.set_completion_callback(
+      [&](const sim::Job&, Time at) { completion = at; });
+  engine.schedule_at(0, [&] {
+    sim::Job job;
+    job.request.service_demand = demand;
+    job.request.cpu_fraction = w;
+    job.request.mem_pages = 2;
+    node.submit(job);
+  });
+  engine.run();
+  ASSERT_GE(completion, 0);
+  EXPECT_GE(completion, demand);
+  EXPECT_LE(completion, demand + os.context_switch +
+                            static_cast<Time>(demand / 10) + kMillisecond);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, NodeLatencySweep,
+    ::testing::Combine(::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0),
+                       ::testing::Values(Time{kMillisecond},
+                                         Time{10 * kMillisecond},
+                                         Time{100 * kMillisecond})));
+
+}  // namespace
+}  // namespace wsched

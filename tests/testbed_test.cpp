@@ -1,0 +1,108 @@
+// Tests for the real-execution testbed: spin calibration and small live
+// runs. These execute real CPU work and real timers, so they are kept
+// short; Table 3 scale runs live in bench/table3_validation.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "testbed/calibrate.hpp"
+#include "testbed/testbed.hpp"
+#include "trace/generator.hpp"
+#include "trace/profile.hpp"
+
+namespace wsched::testbed {
+namespace {
+
+TEST(Calibrate, MeasuresPlausibleRate) {
+  const SpinCalibration spin = SpinCalibration::measure(50);
+  // Any machine built this century runs the mixing loop between 10M and
+  // 100G iterations/second.
+  EXPECT_GT(spin.iterations_per_second(), 1e7);
+  EXPECT_LT(spin.iterations_per_second(), 1e11);
+}
+
+TEST(Calibrate, SpinForTakesRoughlyRequestedTime) {
+  const SpinCalibration spin = SpinCalibration::measure(100);
+  const auto start = std::chrono::steady_clock::now();
+  spin.spin_for(0.05);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  // Scheduling noise allowed, but the order of magnitude must hold.
+  EXPECT_GT(elapsed, 0.02);
+  EXPECT_LT(elapsed, 0.25);
+}
+
+TEST(Calibrate, SpinZeroIsInstant) {
+  const SpinCalibration spin(1e9);
+  const auto start = std::chrono::steady_clock::now();
+  spin.spin_for(0.0);
+  spin.spin_for(-1.0);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed, 0.01);
+}
+
+trace::Trace tiny_trace(double lambda, double seconds) {
+  trace::GeneratorConfig config;
+  config.profile = trace::ksu_profile();
+  config.lambda = lambda;
+  config.duration_s = seconds;
+  config.mu_h = 110.0;  // Sun Ultra 1 calibration from the paper
+  config.r = 1.0 / 40.0;
+  config.seed = 77;
+  return trace::generate(config);
+}
+
+TEST(Testbed, CompletesAllRequests) {
+  TestbedConfig config;
+  config.p = 3;
+  config.m = 1;
+  config.time_compression = 16.0;
+  config.seed = 3;
+  const trace::Trace trace = tiny_trace(30, 4.0);
+  const TestbedResult result =
+      run_testbed(config, core::SchedulerKind::kMs, trace);
+  EXPECT_EQ(result.completed, trace.size());
+  EXPECT_GT(result.metrics.completed, 0u);
+  EXPECT_GE(result.metrics.stretch, 1.0);
+}
+
+TEST(Testbed, FlatPolicyAlsoRuns) {
+  TestbedConfig config;
+  config.p = 3;
+  config.m = 1;
+  config.time_compression = 16.0;
+  const trace::Trace trace = tiny_trace(30, 3.0);
+  const TestbedResult result =
+      run_testbed(config, core::SchedulerKind::kFlat, trace);
+  EXPECT_EQ(result.completed, trace.size());
+  EXPECT_GE(result.metrics.stretch, 1.0);
+}
+
+TEST(Testbed, EmptyTraceReturnsImmediately) {
+  TestbedConfig config;
+  const TestbedResult result =
+      run_testbed(config, core::SchedulerKind::kMs, trace::Trace{});
+  EXPECT_EQ(result.completed, 0u);
+}
+
+TEST(Testbed, InvalidConfigThrows) {
+  const trace::Trace trace = tiny_trace(10, 1.0);
+  TestbedConfig config;
+  config.p = 0;
+  EXPECT_THROW(run_testbed(config, core::SchedulerKind::kMs, trace),
+               std::invalid_argument);
+  config.p = 2;
+  config.m = 3;
+  EXPECT_THROW(run_testbed(config, core::SchedulerKind::kMs, trace),
+               std::invalid_argument);
+  config.m = 1;
+  config.time_compression = 0;
+  EXPECT_THROW(run_testbed(config, core::SchedulerKind::kMs, trace),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wsched::testbed

@@ -1,0 +1,334 @@
+// Tests for the trace layer: the SPECweb96 file set, the Table 1 profiles,
+// the synthetic generator's calibration, interval rescaling, and CSV IO.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "trace/fileset.hpp"
+#include "trace/generator.hpp"
+#include "trace/profile.hpp"
+#include "trace/record.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/trace_stats.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace wsched::trace {
+namespace {
+
+TEST(FileSet, FileSetLayout) {
+  // SPECweb96's working set is 4 size classes x 9 files = 36 files (the
+  // paper's "40 representative files" rounds this).
+  const SpecWebFileSet files;
+  EXPECT_EQ(files.count(), 36);
+  int per_class[4] = {0, 0, 0, 0};
+  for (int i = 0; i < files.count(); ++i)
+    ++per_class[files.file(i).size_class];
+  for (int c = 0; c < 4; ++c) EXPECT_EQ(per_class[c], 9);
+}
+
+TEST(FileSet, SizesSpanFourDecades) {
+  const SpecWebFileSet files;
+  EXPECT_EQ(files.file(0).size_bytes, 102u);  // 0.1 KB
+  EXPECT_NEAR(files.file(files.count() - 1).size_bytes, 921600, 10);
+}
+
+TEST(FileSet, ClosestFileExactAndBetween) {
+  const SpecWebFileSet files;
+  // Exact size returns that file.
+  const int idx = files.closest_file(files.file(5).size_bytes);
+  EXPECT_EQ(idx, 5);
+  // A size way above everything returns the largest file.
+  const int top = files.closest_file(100'000'000);
+  EXPECT_EQ(files.file(top).size_bytes,
+            files.file(files.count() - 1).size_bytes);
+  // A size below everything returns the smallest.
+  const int bottom = files.closest_file(1);
+  EXPECT_EQ(files.file(bottom).size_bytes, files.file(0).size_bytes);
+}
+
+TEST(FileSet, SampleFollowsClassMix) {
+  const SpecWebFileSet files;
+  Rng rng(99);
+  int per_class[4] = {0, 0, 0, 0};
+  const int n = 200000;
+  for (int i = 0; i < n; ++i)
+    ++per_class[files.file(files.sample(rng)).size_class];
+  EXPECT_NEAR(per_class[0] / double(n), 0.35, 0.01);
+  EXPECT_NEAR(per_class[1] / double(n), 0.50, 0.01);
+  EXPECT_NEAR(per_class[2] / double(n), 0.14, 0.01);
+  EXPECT_NEAR(per_class[3] / double(n), 0.01, 0.005);
+}
+
+TEST(Profiles, Table1Characteristics) {
+  // The numbers printed in Table 1 of the paper.
+  const WorkloadProfile dec = dec_profile();
+  EXPECT_NEAR(dec.cgi_fraction, 0.087, 1e-9);
+  EXPECT_NEAR(dec.native_interval_s, 0.09, 1e-9);
+  const WorkloadProfile ucb = ucb_profile();
+  EXPECT_NEAR(ucb.cgi_fraction, 0.112, 1e-9);
+  EXPECT_NEAR(ucb.html_mean_bytes, 7519, 1e-9);
+  EXPECT_NEAR(ucb.cgi_mean_bytes, 4591, 1e-9);
+  const WorkloadProfile ksu = ksu_profile();
+  EXPECT_NEAR(ksu.cgi_fraction, 0.291, 1e-9);
+  const WorkloadProfile adl = adl_profile();
+  EXPECT_NEAR(adl.cgi_fraction, 0.443, 1e-9);
+  EXPECT_NEAR(adl.native_interval_s, 22.418, 1e-9);
+}
+
+TEST(Profiles, SubstitutedWorkloadCpuShares) {
+  // UCB -> WebSTONE spin (CPU-heavy); KSU -> WebGlimpse (90% CPU);
+  // ADL -> catalog search (90% disk).
+  EXPECT_GT(ucb_profile().cgi_cpu_fraction, 0.9);
+  EXPECT_NEAR(ksu_profile().cgi_cpu_fraction, 0.9, 1e-9);
+  EXPECT_NEAR(adl_profile().cgi_cpu_fraction, 0.1, 1e-9);
+}
+
+TEST(Profiles, LookupByName) {
+  EXPECT_EQ(profile_by_name("ucb").name, "UCB");
+  EXPECT_EQ(profile_by_name("ADL").name, "ADL");
+  EXPECT_THROW(profile_by_name("nope"), std::invalid_argument);
+  EXPECT_EQ(experiment_profiles().size(), 3u);
+  EXPECT_EQ(table1_profiles().size(), 4u);
+}
+
+GeneratorConfig config_for(const WorkloadProfile& profile, double lambda,
+                           double r, std::uint64_t seed = 7,
+                           double duration = 30.0) {
+  GeneratorConfig config;
+  config.profile = profile;
+  config.lambda = lambda;
+  config.duration_s = duration;
+  config.r = r;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Generator, Deterministic) {
+  const auto config = config_for(ucb_profile(), 500, 1.0 / 40.0);
+  const Trace a = generate(config);
+  const Trace b = generate(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.records[i].arrival, b.records[i].arrival);
+    EXPECT_EQ(a.records[i].service_demand, b.records[i].service_demand);
+    EXPECT_EQ(a.records[i].size_bytes, b.records[i].size_bytes);
+  }
+}
+
+TEST(Generator, SeedsProduceDifferentTraces) {
+  const Trace a = generate(config_for(ucb_profile(), 500, 0.025, 1));
+  const Trace b = generate(config_for(ucb_profile(), 500, 0.025, 2));
+  ASSERT_GT(a.size(), 100u);
+  EXPECT_NE(a.records[10].arrival, b.records[10].arrival);
+}
+
+TEST(Generator, ArrivalsSortedAndPositiveDemands) {
+  const Trace trace = generate(config_for(adl_profile(), 800, 0.0125));
+  ASSERT_GT(trace.size(), 1000u);
+  for (std::size_t i = 1; i < trace.size(); ++i)
+    EXPECT_GE(trace.records[i].arrival, trace.records[i - 1].arrival);
+  for (const auto& rec : trace.records) {
+    EXPECT_GT(rec.service_demand, 0);
+    EXPECT_GE(rec.mem_pages, 1u);
+  }
+}
+
+TEST(Generator, InvalidConfigThrows) {
+  auto config = config_for(ucb_profile(), 500, 0.025);
+  config.lambda = 0;
+  EXPECT_THROW(generate(config), std::invalid_argument);
+  config = config_for(ucb_profile(), 500, 0.025);
+  config.duration_s = -1;
+  EXPECT_THROW(generate(config), std::invalid_argument);
+  config = config_for(ucb_profile(), 500, 0.025);
+  config.r = 0;
+  EXPECT_THROW(generate(config), std::invalid_argument);
+}
+
+// Calibration sweep: for every profile and r, the generated trace matches
+// its nominal statistics — CGI fraction, arrival rate, and both per-class
+// mean demands (the quantities the analytic model consumes).
+class GeneratorCalibration
+    : public ::testing::TestWithParam<std::tuple<std::string, double>> {};
+
+TEST_P(GeneratorCalibration, MatchesNominalStatistics) {
+  const auto& [name, inv_r] = GetParam();
+  const WorkloadProfile profile = profile_by_name(name);
+  const double r = 1.0 / inv_r;
+  const double lambda = 1500;
+  const auto config = config_for(profile, lambda, r, 11, 60.0);
+  const Trace trace = generate(config);
+  const TraceStats stats = compute_stats(trace);
+
+  EXPECT_NEAR(stats.cgi_fraction, profile.cgi_fraction,
+              0.03 * (1 + profile.cgi_fraction));
+  EXPECT_NEAR(stats.arrival_rate, lambda, lambda * 0.05);
+  // E[static demand] == 1/mu_h within 5%.
+  EXPECT_NEAR(stats.mean_static_demand_s, 1.0 / config.mu_h,
+              0.05 / config.mu_h);
+  // E[dynamic demand] == 1/(r mu_h) within 10% (exponential, needs n).
+  EXPECT_NEAR(stats.mean_dynamic_demand_s, 1.0 / (r * config.mu_h),
+              0.10 / (r * config.mu_h));
+  // The derived ratio estimates should be near the configured values.
+  EXPECT_NEAR(stats.r_ratio, r, r * 0.15);
+  const double a = profile.cgi_fraction / (1 - profile.cgi_fraction);
+  EXPECT_NEAR(stats.a_ratio, a, a * 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, GeneratorCalibration,
+    ::testing::Combine(::testing::Values("ucb", "ksu", "adl", "dec"),
+                       ::testing::Values(20.0, 40.0, 80.0, 160.0)));
+
+TEST(Generator, StaticSizesComeFromSpecWeb) {
+  const SpecWebFileSet files;
+  const Trace trace = generate(config_for(ucb_profile(), 500, 0.025));
+  for (const auto& rec : trace.records) {
+    if (rec.is_dynamic()) continue;
+    const int idx = files.closest_file(rec.size_bytes);
+    EXPECT_EQ(files.file(idx).size_bytes, rec.size_bytes)
+        << "static size not in the SPECweb96 set";
+  }
+}
+
+TEST(Generator, ExponentialStaticOption) {
+  auto config = config_for(ucb_profile(), 2000, 0.025, 13, 60.0);
+  config.size_coupled_static = false;
+  const Trace trace = generate(config);
+  const TraceStats stats = compute_stats(trace);
+  EXPECT_NEAR(stats.mean_static_demand_s, 1.0 / config.mu_h,
+              0.05 / config.mu_h);
+}
+
+TEST(Generator, BurstyPreservesMeanRate) {
+  auto config = config_for(ksu_profile(), 1000, 0.025, 17, 120.0);
+  config.bursty = true;
+  const Trace trace = generate(config);
+  const TraceStats stats = compute_stats(trace);
+  EXPECT_NEAR(stats.arrival_rate, 1000, 120);
+}
+
+TEST(Generator, BurstyIsBurstier) {
+  auto calm_cfg = config_for(ksu_profile(), 1000, 0.025, 19, 60.0);
+  auto burst_cfg = calm_cfg;
+  burst_cfg.bursty = true;
+  const Trace calm = generate(calm_cfg);
+  const Trace burst = generate(burst_cfg);
+  // Compare the variance of per-second arrival counts.
+  auto count_variance = [](const Trace& t) {
+    std::vector<int> counts(61, 0);
+    for (const auto& rec : t.records) {
+      const auto s = static_cast<std::size_t>(to_seconds(rec.arrival));
+      if (s < counts.size()) ++counts[s];
+    }
+    RunningStats stats;
+    for (int c : counts) stats.add(c);
+    return stats.variance();
+  };
+  EXPECT_GT(count_variance(burst), 1.5 * count_variance(calm));
+}
+
+TEST(Rescale, HitsTargetRate) {
+  Trace trace = generate(config_for(ucb_profile(), 300, 0.025, 23, 30.0));
+  rescale_to_rate(trace, 1200);
+  const TraceStats stats = compute_stats(trace);
+  EXPECT_NEAR(stats.arrival_rate, 1200, 1.0);
+}
+
+TEST(Rescale, PreservesOrderAndCount) {
+  Trace trace = generate(config_for(adl_profile(), 300, 0.025, 23, 30.0));
+  const std::size_t n = trace.size();
+  rescale_to_rate(trace, 50);
+  EXPECT_EQ(trace.size(), n);
+  for (std::size_t i = 1; i < trace.size(); ++i)
+    EXPECT_GE(trace.records[i].arrival, trace.records[i - 1].arrival);
+}
+
+TEST(Rescale, RejectsBadRate) {
+  Trace trace = generate(config_for(ucb_profile(), 300, 0.025, 23, 5.0));
+  EXPECT_THROW(rescale_to_rate(trace, 0), std::invalid_argument);
+}
+
+TEST(Rescale, TinyTraceNoop) {
+  Trace trace;
+  rescale_to_rate(trace, 100);  // must not crash
+  trace.records.push_back(TraceRecord{});
+  rescale_to_rate(trace, 100);
+  EXPECT_EQ(trace.size(), 1u);
+}
+
+TEST(TraceStats, EmptyTrace) {
+  const TraceStats stats = compute_stats(Trace{});
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_EQ(stats.arrival_rate, 0.0);
+}
+
+TEST(TraceStats, HandCraftedValues) {
+  Trace trace;
+  TraceRecord s;
+  s.arrival = 0;
+  s.cls = RequestClass::kStatic;
+  s.size_bytes = 1000;
+  s.service_demand = kMillisecond;
+  trace.records.push_back(s);
+  TraceRecord d;
+  d.arrival = kSecond;
+  d.cls = RequestClass::kDynamic;
+  d.size_bytes = 3000;
+  d.service_demand = 40 * kMillisecond;
+  trace.records.push_back(d);
+  const TraceStats stats = compute_stats(trace);
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.dynamic_requests, 1u);
+  EXPECT_DOUBLE_EQ(stats.cgi_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(stats.a_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(stats.mean_html_bytes, 1000.0);
+  EXPECT_DOUBLE_EQ(stats.mean_cgi_bytes, 3000.0);
+  EXPECT_NEAR(stats.r_ratio, 1.0 / 40.0, 1e-12);
+  EXPECT_NEAR(stats.mean_interval_s, 1.0, 1e-9);
+}
+
+TEST(TraceIo, RoundTrip) {
+  const Trace original =
+      generate(config_for(ksu_profile(), 200, 0.025, 29, 5.0));
+  std::stringstream buffer;
+  save_trace(buffer, original);
+  const Trace loaded = load_trace(buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded.records[i].arrival, original.records[i].arrival);
+    EXPECT_EQ(loaded.records[i].cls, original.records[i].cls);
+    EXPECT_EQ(loaded.records[i].size_bytes, original.records[i].size_bytes);
+    EXPECT_EQ(loaded.records[i].service_demand,
+              original.records[i].service_demand);
+    EXPECT_EQ(loaded.records[i].mem_pages, original.records[i].mem_pages);
+  }
+}
+
+TEST(TraceIo, RejectsGarbage) {
+  std::stringstream empty;
+  EXPECT_THROW(load_trace(empty), std::runtime_error);
+
+  std::stringstream bad_header("not,a,trace\n1,2,3\n");
+  EXPECT_THROW(load_trace(bad_header), std::runtime_error);
+
+  std::stringstream bad_fields(
+      "arrival_ns,class,size_bytes,service_demand_ns,cpu_fraction,mem_pages\n"
+      "1,static,100\n");
+  EXPECT_THROW(load_trace(bad_fields), std::runtime_error);
+
+  std::stringstream bad_class(
+      "arrival_ns,class,size_bytes,service_demand_ns,cpu_fraction,mem_pages\n"
+      "1,weird,100,5,0.5,2\n");
+  EXPECT_THROW(load_trace(bad_class), std::runtime_error);
+}
+
+TEST(SpecMean, MatchesAnalyticMix) {
+  // 0.35*512 + 0.50*5120 + 0.14*51200 + 0.01*512000 with 102.4-byte bases.
+  EXPECT_NEAR(specweb_mean_bytes(), 15027.2, 50.0);
+}
+
+}  // namespace
+}  // namespace wsched::trace
