@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hetero.dir/ext_hetero.cpp.o"
+  "CMakeFiles/ext_hetero.dir/ext_hetero.cpp.o.d"
+  "ext_hetero"
+  "ext_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_analytic.dir/fig3_analytic.cpp.o"
+  "CMakeFiles/fig3_analytic.dir/fig3_analytic.cpp.o.d"
+  "fig3_analytic"
+  "fig3_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache.cpp" "src/CMakeFiles/wsched.dir/core/cache.cpp.o" "gcc" "src/CMakeFiles/wsched.dir/core/cache.cpp.o.d"
+  "/root/repo/src/core/cluster.cpp" "src/CMakeFiles/wsched.dir/core/cluster.cpp.o" "gcc" "src/CMakeFiles/wsched.dir/core/cluster.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/wsched.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/wsched.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/load.cpp" "src/CMakeFiles/wsched.dir/core/load.cpp.o" "gcc" "src/CMakeFiles/wsched.dir/core/load.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/wsched.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/wsched.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/CMakeFiles/wsched.dir/core/policy.cpp.o" "gcc" "src/CMakeFiles/wsched.dir/core/policy.cpp.o.d"
+  "/root/repo/src/core/reservation.cpp" "src/CMakeFiles/wsched.dir/core/reservation.cpp.o" "gcc" "src/CMakeFiles/wsched.dir/core/reservation.cpp.o.d"
+  "/root/repo/src/core/rsrc.cpp" "src/CMakeFiles/wsched.dir/core/rsrc.cpp.o" "gcc" "src/CMakeFiles/wsched.dir/core/rsrc.cpp.o.d"
+  "/root/repo/src/model/optimize.cpp" "src/CMakeFiles/wsched.dir/model/optimize.cpp.o" "gcc" "src/CMakeFiles/wsched.dir/model/optimize.cpp.o.d"
+  "/root/repo/src/model/queueing.cpp" "src/CMakeFiles/wsched.dir/model/queueing.cpp.o" "gcc" "src/CMakeFiles/wsched.dir/model/queueing.cpp.o.d"
+  "/root/repo/src/sim/cpu_sched.cpp" "src/CMakeFiles/wsched.dir/sim/cpu_sched.cpp.o" "gcc" "src/CMakeFiles/wsched.dir/sim/cpu_sched.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/wsched.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/wsched.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/node.cpp" "src/CMakeFiles/wsched.dir/sim/node.cpp.o" "gcc" "src/CMakeFiles/wsched.dir/sim/node.cpp.o.d"
+  "/root/repo/src/sim/process.cpp" "src/CMakeFiles/wsched.dir/sim/process.cpp.o" "gcc" "src/CMakeFiles/wsched.dir/sim/process.cpp.o.d"
+  "/root/repo/src/testbed/calibrate.cpp" "src/CMakeFiles/wsched.dir/testbed/calibrate.cpp.o" "gcc" "src/CMakeFiles/wsched.dir/testbed/calibrate.cpp.o.d"
+  "/root/repo/src/testbed/testbed.cpp" "src/CMakeFiles/wsched.dir/testbed/testbed.cpp.o" "gcc" "src/CMakeFiles/wsched.dir/testbed/testbed.cpp.o.d"
+  "/root/repo/src/trace/fileset.cpp" "src/CMakeFiles/wsched.dir/trace/fileset.cpp.o" "gcc" "src/CMakeFiles/wsched.dir/trace/fileset.cpp.o.d"
+  "/root/repo/src/trace/generator.cpp" "src/CMakeFiles/wsched.dir/trace/generator.cpp.o" "gcc" "src/CMakeFiles/wsched.dir/trace/generator.cpp.o.d"
+  "/root/repo/src/trace/profile.cpp" "src/CMakeFiles/wsched.dir/trace/profile.cpp.o" "gcc" "src/CMakeFiles/wsched.dir/trace/profile.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/CMakeFiles/wsched.dir/trace/trace_io.cpp.o" "gcc" "src/CMakeFiles/wsched.dir/trace/trace_io.cpp.o.d"
+  "/root/repo/src/trace/trace_stats.cpp" "src/CMakeFiles/wsched.dir/trace/trace_stats.cpp.o" "gcc" "src/CMakeFiles/wsched.dir/trace/trace_stats.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/wsched.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/wsched.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/wsched.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/wsched.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/wsched.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/wsched.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/wsched.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/wsched.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/wsched.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/wsched.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/wsched.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/wsched.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
