@@ -1,8 +1,10 @@
 #include "core/cluster.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "core/cache.hpp"
+#include "fault/membership.hpp"
 #include "util/rng.hpp"
 
 namespace wsched::core {
@@ -53,6 +55,39 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
   res_cfg.m = config_.m;
   ReservationController reservation(res_cfg);
 
+  // --- fault-injection & failover layer (absent when disabled: the
+  // default run takes the exact fault-free code path, draw for draw) ---
+  const bool faults_on = config_.fault.enabled;
+  std::optional<fault::Membership> membership;
+  std::optional<fault::HealthMonitor> health;
+  std::optional<fault::FaultInjector> injector;
+  std::uint64_t redispatches = 0;
+  std::uint64_t timeouts = 0;
+  if (faults_on) {
+    membership.emplace(config_.p, config_.m);
+    const Time heartbeat = config_.fault.heartbeat_period > 0
+                               ? config_.fault.heartbeat_period
+                               : config_.load_sample_period;
+    health.emplace(engine, node_ptrs, heartbeat,
+                   config_.fault.suspect_misses, config_.fault.dead_misses);
+    injector.emplace(engine, node_ptrs, config_.fault, config_.m,
+                     config_.seed);
+    health->set_on_transition([&](int node, fault::NodeHealth,
+                                  fault::NodeHealth to) {
+      // Roles follow *declared* state: promotion and the Theorem-1
+      // re-sizing of theta'_2 happen at detection time, not crash time.
+      if (to == fault::NodeHealth::kDead) {
+        membership->mark_dead(node);
+      } else if (to == fault::NodeHealth::kHealthy) {
+        membership->mark_alive(node);
+      } else {
+        return;  // suspected: candidate pools shrink, roles unchanged
+      }
+      reservation.set_membership(membership->effective_p(),
+                                 membership->effective_m());
+    });
+  }
+
   // One CGI result cache per potential receiver (the Swala extension).
   const bool cache_on = config_.cgi_cache_entries > 0;
   std::vector<CgiCache> caches(
@@ -68,16 +103,24 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
   view.m = config_.m;
   view.reservation = &reservation;
   view.rng = &dispatch_rng;
+  if (faults_on) {
+    view.membership = &*membership;
+    view.health = &health->all();
+  }
 
   MetricsCollector metrics(config_.warmup, config_.os.fork_overhead);
+  if (config_.metrics_tail_start > 0)
+    metrics.set_tail_start(config_.metrics_tail_start);
 
   std::uint64_t remaining = trace.records.size();
+  std::uint64_t completed_jobs = 0;
   RunResult result;
   result.submitted = trace.records.size();
 
   for (auto& node : nodes) {
     node->set_completion_callback(
         [&](const sim::Job& job, Time completion) {
+          ++completed_jobs;
           metrics.record(job, completion);
           reservation.record_completion(job.request.is_dynamic(),
                                         completion - job.cluster_arrival);
@@ -92,7 +135,60 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
         });
   }
 
+  // Failover: a job stranded by a crash (in flight on the node, or routed
+  // to it before the failure was detected) is re-dispatched with linear
+  // backoff, each hop charged the remote-dispatch latency; past the retry
+  // cap it is counted as timed out — never silently lost. Only invoked
+  // when the fault layer is active.
+  std::function<void(sim::Job)> redispatch;
+  if (faults_on) {
+    redispatch = [&](sim::Job job) {
+      job.disrupted = true;
+      ++job.attempts;
+      if (static_cast<int>(job.attempts) > config_.fault.max_redispatch) {
+        ++timeouts;
+        if (--remaining == 0) engine.stop();
+        return;
+      }
+      ++redispatches;
+      const Time delay = config_.fault.redispatch_backoff *
+                             static_cast<Time>(job.attempts) +
+                         config_.os.remote_cgi_latency;
+      engine.schedule_after(delay, [&, job]() mutable {
+        if (health->healthy_count() == 0) {
+          // Total outage at retry time: go around again (and eventually
+          // time out at the cap).
+          redispatch(std::move(job));
+          return;
+        }
+        Decision decision = dispatcher_->route(job.request, view);
+        if (decision.node < 0 || decision.node >= config_.p)
+          throw std::out_of_range("dispatcher routed outside the cluster");
+        job.receiver = decision.receiver;
+        job.remote = true;
+        if (decision.rsrc_w >= 0.0 && job.request.is_dynamic())
+          feedbacks[static_cast<std::size_t>(decision.receiver)].on_dispatch(
+              static_cast<std::size_t>(decision.node), decision.rsrc_w);
+        sim::Node* target =
+            node_ptrs[static_cast<std::size_t>(decision.node)];
+        if (!target->alive()) {
+          // Crashed again (or still undetected): burn another retry.
+          redispatch(std::move(job));
+          return;
+        }
+        target->submit(std::move(job));
+      });
+    };
+    injector->set_on_crash([&](int, std::vector<sim::Job> dropped) {
+      for (sim::Job& job : dropped) redispatch(std::move(job));
+    });
+  }
+
   monitor.start();
+  if (faults_on) {
+    health->start();
+    injector->start();
+  }
 
   // Periodic theta'_2 recomputation, running as long as work remains.
   std::function<void()> reservation_tick = [&] {
@@ -109,6 +205,20 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
   std::size_t cursor = 0;
   std::function<void()> deliver = [&] {
     const trace::TraceRecord& rec = trace.records[cursor];
+    if (faults_on && health->healthy_count() == 0) {
+      // Total outage: no declared-healthy front end can accept the
+      // request; hold it in the failover queue (it retries with backoff
+      // and times out at the cap if the outage persists).
+      sim::Job held;
+      held.id = next_id++;
+      held.request = rec;
+      held.cluster_arrival = engine.now();
+      redispatch(std::move(held));
+      ++cursor;
+      if (cursor < trace.records.size())
+        engine.schedule_at(trace.records[cursor].arrival, deliver);
+      return;
+    }
     Decision decision = dispatcher_->route(rec, view);
     if (decision.node < 0 || decision.node >= config_.p)
       throw std::out_of_range("dispatcher routed outside the cluster");
@@ -117,6 +227,7 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     job.request = rec;
     job.cluster_arrival = engine.now();
     job.receiver = decision.receiver;
+    if (faults_on && injector->any_down()) job.disrupted = true;
 
     // CGI-cache extension: the receiving master can serve a fresh cached
     // response as a plain file fetch, bypassing CGI execution entirely.
@@ -143,8 +254,23 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
           static_cast<std::size_t>(decision.node), decision.rsrc_w);
     sim::Node* target = node_ptrs[static_cast<std::size_t>(decision.node)];
     if (decision.remote && rec.is_dynamic()) {
-      engine.schedule_after(config_.os.remote_cgi_latency,
-                            [target, job] { target->submit(job); });
+      if (faults_on) {
+        // The target may die during the dispatch hop (or already be dead
+        // but undetected); the landing check routes the job into failover.
+        engine.schedule_after(config_.os.remote_cgi_latency,
+                              [&, target, job] {
+                                if (target->alive()) {
+                                  target->submit(job);
+                                } else {
+                                  redispatch(job);
+                                }
+                              });
+      } else {
+        engine.schedule_after(config_.os.remote_cgi_latency,
+                              [target, job] { target->submit(job); });
+      }
+    } else if (faults_on && !target->alive()) {
+      redispatch(job);
     } else {
       target->submit(job);
     }
@@ -160,8 +286,15 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
   result.metrics = metrics.summary();
   result.events = engine.events_processed();
   result.sim_seconds = to_seconds(engine.now());
-  result.completed = trace.records.size() - remaining;
+  result.completed = completed_jobs;
   const Time end = engine.now();
+  if (faults_on) {
+    result.availability = injector->availability(end);
+    result.node_crashes = injector->crashes();
+    result.redispatches = redispatches;
+    result.timeouts = timeouts;
+    result.promotions = membership->promotions();
+  }
   result.node_cpu_utilization.reserve(nodes.size());
   result.node_disk_utilization.reserve(nodes.size());
   double cpu_sum = 0.0, disk_sum = 0.0;

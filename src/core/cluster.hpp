@@ -16,6 +16,7 @@
 #include "core/metrics.hpp"
 #include "core/policy.hpp"
 #include "core/reservation.hpp"
+#include "fault/fault.hpp"
 #include "sim/engine.hpp"
 #include "sim/node.hpp"
 #include "trace/record.hpp"
@@ -47,6 +48,13 @@ struct ClusterConfig {
   /// Static service rate used to cost a cache-hit serve (a hit is a file
   /// fetch of the stored response).
   double cache_hit_mu = 1200.0;
+  /// Fault injection & failover (see fault::FaultConfig). Disabled by
+  /// default; a disabled fault layer leaves the run bit-identical to one
+  /// without the subsystem.
+  fault::FaultConfig fault;
+  /// Optional tail-window start for MetricsSummary::stretch_tail
+  /// (<= 0 disables); used to measure post-failover recovery.
+  Time metrics_tail_start = 0;
 };
 
 struct RunResult {
@@ -68,6 +76,12 @@ struct RunResult {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_lookups = 0;
   double cache_hit_ratio = 0.0;
+  /// Fault/failover statistics (defaults when fault injection is off).
+  double availability = 1.0;       ///< node-seconds up / node-seconds total
+  std::uint64_t node_crashes = 0;  ///< crash faults that actually fired
+  std::uint64_t redispatches = 0;  ///< failover re-dispatch hops taken
+  std::uint64_t timeouts = 0;      ///< requests dropped at the retry cap
+  std::uint64_t promotions = 0;    ///< slaves promoted to master
 };
 
 class ClusterSim {

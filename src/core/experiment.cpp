@@ -52,6 +52,9 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   config.seed = spec.seed;
   config.warmup = from_seconds(spec.warmup_s);
   config.load_sample_period = from_seconds(spec.load_sample_period_s);
+  config.fault = spec.fault;
+  if (spec.metrics_tail_start_s > 0.0)
+    config.metrics_tail_start = from_seconds(spec.metrics_tail_start_s);
 
   int m = spec.m;
   if (spec.kind == SchedulerKind::kFlat || spec.kind == SchedulerKind::kMs1) {
@@ -118,7 +121,13 @@ double improvement(const ExperimentResult& better,
                    const ExperimentResult& worse) {
   const double sb = better.run.metrics.stretch;
   const double sw = worse.run.metrics.stretch;
-  if (sb <= 0.0) return 0.0;
+  // Degenerate runs (no completions, or a failure-mangled aggregate) can
+  // produce zero, near-zero or non-finite stretches; any real run has
+  // stretch >= 1, so treat anything below a near-zero floor — or any
+  // non-finite input — as "no meaningful comparison" instead of emitting
+  // inf/NaN into tables.
+  if (!std::isfinite(sb) || !std::isfinite(sw)) return 0.0;
+  if (sb <= 1e-9) return 0.0;
   return sw / sb - 1.0;
 }
 

@@ -34,6 +34,12 @@ struct ExperimentSpec {
   double load_sample_period_s = 0.10;
   /// Near-tie tolerance of the min-RSRC pick.
   double rsrc_tolerance = 0.30;
+  /// Fault injection & failover (disabled by default — see
+  /// fault::FaultConfig); passed through to the cluster unchanged.
+  fault::FaultConfig fault;
+  /// Tail-window start (seconds) for MetricsSummary::stretch_tail;
+  /// <= 0 disables. Used to measure post-failover recovery.
+  double metrics_tail_start_s = 0.0;
 };
 
 /// The analytic workload corresponding to a spec (for Theorem 1 sizing and

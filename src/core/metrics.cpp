@@ -20,6 +20,9 @@ void MetricsCollector::record(const sim::Job& job, Time completion) {
   stretch_all_.add(stretch);
   response_all_.add(response_s);
   response_pct_.add(response_s);
+  if (job.disrupted) stretch_disrupted_.add(stretch);
+  if (tail_enabled_ && job.cluster_arrival >= tail_start_)
+    stretch_tail_.add(stretch);
   if (dynamic) {
     stretch_dynamic_.add(stretch);
     response_dynamic_.add(response_s);
@@ -43,6 +46,10 @@ MetricsSummary MetricsCollector::summary() const {
   s.p95_response_s = response_pct_.percentile(0.95);
   s.p99_response_s = response_pct_.percentile(0.99);
   s.max_stretch = stretch_all_.max();
+  s.completed_disrupted = stretch_disrupted_.count();
+  s.stretch_disrupted = stretch_disrupted_.mean();
+  s.completed_tail = stretch_tail_.count();
+  s.stretch_tail = stretch_tail_.mean();
   return s;
 }
 

@@ -27,6 +27,16 @@ struct MetricsSummary {
   double p95_response_s = 0.0;
   double p99_response_s = 0.0;
   double max_stretch = 0.0;
+  /// Failure-window metrics (all zero when fault injection is off).
+  /// "Disrupted" requests were re-dispatched after a crash or arrived
+  /// while at least one node was down; their stretch quantifies how much
+  /// a failure episode costs the requests caught in it.
+  std::uint64_t completed_disrupted = 0;
+  double stretch_disrupted = 0.0;
+  /// Metrics over requests arriving at/after a configured tail window
+  /// (used to measure recovery: post-failover stretch vs. a clean run).
+  std::uint64_t completed_tail = 0;
+  double stretch_tail = 0.0;
 };
 
 class MetricsCollector {
@@ -42,12 +52,23 @@ class MetricsCollector {
 
   const RunningStats& stretch_stats() const { return stretch_all_; }
 
+  /// Enables the tail window: requests with cluster_arrival >= `start`
+  /// additionally feed the stretch_tail aggregate.
+  void set_tail_start(Time start) {
+    tail_start_ = start;
+    tail_enabled_ = true;
+  }
+
  private:
   Time warmup_;
   Time fork_overhead_;
+  Time tail_start_ = 0;
+  bool tail_enabled_ = false;
   RunningStats stretch_all_;
   RunningStats stretch_static_;
   RunningStats stretch_dynamic_;
+  RunningStats stretch_disrupted_;
+  RunningStats stretch_tail_;
   RunningStats response_all_;
   RunningStats response_static_;
   RunningStats response_dynamic_;

@@ -12,14 +12,38 @@ int random_in(Rng& rng, int count) {
   return static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(count)));
 }
 
+/// Copies the declared-healthy subset of `from` into `out`.
+void filter_healthy(const ClusterView& view, const std::vector<int>& from,
+                    std::vector<int>& out) {
+  out.clear();
+  for (const int node : from)
+    if (view.node_healthy(node)) out.push_back(node);
+}
+
 class FlatDispatcher final : public Dispatcher {
  public:
   Decision route(const trace::TraceRecord&, ClusterView& view) override {
+    if (view.fault_aware()) {
+      // Switch-based load balancing health-checks its pool: route among
+      // declared-healthy nodes (falling back to all live-declared nodes,
+      // then node 0 — the cluster holds arrivals during a total outage).
+      filter_healthy(view, view.membership->available(), healthy_);
+      const std::vector<int>& pool =
+          healthy_.empty() ? view.membership->available() : healthy_;
+      if (pool.empty()) return Decision{0, false, -1.0, 0};
+      const int node =
+          pool[static_cast<std::size_t>(random_in(
+              *view.rng, static_cast<int>(pool.size())))];
+      return Decision{node, false, -1.0, node};
+    }
     // DNS/switch baseline: uniformly random node, executed where received.
     const int node = random_in(*view.rng, view.p);
     return Decision{node, false, -1.0, node};
   }
   std::string name() const override { return "Flat"; }
+
+ private:
+  std::vector<int> healthy_;  // reused across calls
 };
 
 class MsDispatcher final : public Dispatcher {
@@ -28,6 +52,7 @@ class MsDispatcher final : public Dispatcher {
 
   Decision route(const trace::TraceRecord& request,
                  ClusterView& view) override {
+    if (view.fault_aware()) return route_fault_aware(request, view);
     const int masters = options_.all_masters ? view.p : view.m;
     if (masters < 1 || masters > view.p)
       throw std::invalid_argument("M/S: bad master count");
@@ -80,8 +105,69 @@ class MsDispatcher final : public Dispatcher {
   }
 
  private:
+  /// Failover variant: the same algorithm over the *declared* membership —
+  /// masters are whatever nodes currently hold the role (promotions
+  /// included), suspected/dead nodes are no candidates. With every node
+  /// healthy and the initial roles, this consumes the RNG identically to
+  /// the fault-free path, so an enabled-but-quiet fault layer is
+  /// bit-identical to a disabled one.
+  Decision route_fault_aware(const trace::TraceRecord& request,
+                             ClusterView& view) {
+    const fault::Membership& mem = *view.membership;
+    if (view.reservation != nullptr)
+      view.reservation->record_arrival(request.is_dynamic());
+
+    // Receiver pool: healthy masters, then any healthy node (headless
+    // cluster with all masters dead), then any live-declared node.
+    filter_healthy(view,
+                   options_.all_masters ? mem.available() : mem.masters(),
+                   masters_);
+    if (masters_.empty()) filter_healthy(view, mem.available(), masters_);
+    if (masters_.empty()) masters_ = mem.available();
+    if (masters_.empty()) return Decision{0, false, -1.0, 0};
+    const int receiver =
+        masters_[static_cast<std::size_t>(random_in(
+            *view.rng, static_cast<int>(masters_.size())))];
+    if (!request.is_dynamic())
+      return Decision{receiver, false, -1.0, receiver};
+
+    const bool reservation_active =
+        options_.reserve && !options_.all_masters &&
+        view.reservation != nullptr;
+    const bool masters_allowed =
+        !reservation_active ||
+        (options_.binary_admission
+             ? view.reservation->binary_gate_open()
+             : view.rng->uniform() <
+                   view.reservation->master_admission());
+
+    candidates_.clear();
+    if (masters_allowed)
+      candidates_.insert(candidates_.end(), masters_.begin(),
+                         masters_.end());
+    if (!options_.all_masters) {
+      filter_healthy(view, mem.slaves(), slaves_);
+      candidates_.insert(candidates_.end(), slaves_.begin(), slaves_.end());
+    }
+    if (candidates_.empty()) candidates_ = masters_;
+
+    const double w =
+        options_.sample_demand ? request.cpu_fraction : 0.5;
+    const std::vector<sim::NodeParams>* speeds =
+        options_.speed_aware ? view.node_params : nullptr;
+    const std::size_t pick =
+        pick_min_rsrc(w, candidates_, view.load_seen_by(receiver), speeds,
+                      *view.rng, options_.rsrc_tolerance);
+    const int target = candidates_[pick];
+    if (view.reservation != nullptr)
+      view.reservation->record_dynamic_routing(mem.is_master(target));
+    return Decision{target, target != receiver, w, receiver};
+  }
+
   MsOptions options_;
   std::vector<int> candidates_;  // reused across calls
+  std::vector<int> masters_;
+  std::vector<int> slaves_;
 };
 
 class MsPrimeDispatcher final : public Dispatcher {
@@ -94,7 +180,30 @@ class MsPrimeDispatcher final : public Dispatcher {
                  ClusterView& view) override {
     const int k = std::min(k_, view.p);
     // Static requests are spread over every node; dynamic requests are
-    // pinned to the k dedicated nodes (min-RSRC among them).
+    // pinned to the k dedicated nodes (min-RSRC among them). Under the
+    // failover layer, both pools shrink to their declared-healthy
+    // subsets (a dedicated pool wiped out entirely falls back to any
+    // healthy node).
+    if (view.fault_aware()) {
+      filter_healthy(view, view.membership->available(), healthy_);
+      if (healthy_.empty()) healthy_ = view.membership->available();
+      if (healthy_.empty()) return Decision{0, false, -1.0, 0};
+      const int receiver =
+          healthy_[static_cast<std::size_t>(random_in(
+              *view.rng, static_cast<int>(healthy_.size())))];
+      if (!request.is_dynamic())
+        return Decision{receiver, false, -1.0, receiver};
+      candidates_.clear();
+      for (int n = 0; n < k; ++n)
+        if (view.node_healthy(n)) candidates_.push_back(n);
+      if (candidates_.empty()) candidates_ = healthy_;
+      const std::size_t pick =
+          pick_min_rsrc(request.cpu_fraction, candidates_,
+                        view.load_seen_by(receiver), *view.rng);
+      const int target = candidates_[pick];
+      return Decision{target, target != receiver, request.cpu_fraction,
+                      receiver};
+    }
     const int receiver = random_in(*view.rng, view.p);
     if (!request.is_dynamic())
       return Decision{receiver, false, -1.0, receiver};
@@ -113,6 +222,7 @@ class MsPrimeDispatcher final : public Dispatcher {
  private:
   int k_;
   std::vector<int> candidates_;
+  std::vector<int> healthy_;
 };
 
 }  // namespace

@@ -23,6 +23,8 @@
 
 #include "core/load.hpp"
 #include "core/reservation.hpp"
+#include "fault/health.hpp"
+#include "fault/membership.hpp"
 #include "sim/params.hpp"
 #include "trace/record.hpp"
 #include "util/rng.hpp"
@@ -46,12 +48,29 @@ struct ClusterView {
   int m = 0;
   ReservationController* reservation = nullptr;  ///< may be null
   Rng* rng = nullptr;
+  /// Failover layer (null when fault injection is off — policies then use
+  /// the static "nodes [0, m) are masters, everyone is up" convention).
+  /// `membership` carries roles under churn (promotions included);
+  /// `health` carries the *declared* per-node state — dispatch excludes
+  /// suspected and dead nodes, with detection latency, rather than
+  /// consulting ground truth.
+  const fault::Membership* membership = nullptr;
+  const std::vector<fault::NodeHealth>* health = nullptr;
 
   /// The load picture receiver `node` routes by.
   const std::vector<LoadInfo>& load_seen_by(int node) const {
     if (feedbacks != nullptr)
       return (*feedbacks)[static_cast<std::size_t>(node)].effective();
     return *load;
+  }
+
+  bool fault_aware() const { return membership != nullptr; }
+
+  /// Declared-healthy check; always true without the failover layer.
+  bool node_healthy(int node) const {
+    return health == nullptr ||
+           (*health)[static_cast<std::size_t>(node)] ==
+               fault::NodeHealth::kHealthy;
   }
 };
 

@@ -50,6 +50,20 @@ void ReservationController::record_dynamic_routing(bool to_master) {
   master_fraction_ += config_.routing_alpha * (x - master_fraction_);
 }
 
+void ReservationController::set_membership(int p, int m) {
+  // p == 0 is a legitimate transient — a total outage with every node
+  // declared dead — and simply closes the reservation until nodes return.
+  if (p < 0 || m < 0 || m > p)
+    throw std::invalid_argument("reservation: need 0 <= m <= p");
+  config_.p = p;
+  config_.m = m;
+  if (m == 0) {
+    theta_limit_ = 0.0;
+    return;
+  }
+  theta_limit_ = theta_limit_for(p, m, r_hat_, a_hat_);
+}
+
 void ReservationController::update() {
   if (arrival_mix_.primed()) {
     const double frac = std::clamp(arrival_mix_.value(), 0.0, 0.999);
@@ -60,7 +74,9 @@ void ReservationController::update() {
     r_hat_ = std::clamp(static_resp_.value() / dynamic_resp_.value(),
                         config_.r_min, config_.r_max);
   }
-  theta_limit_ = theta_limit_for(config_.p, config_.m, r_hat_, a_hat_);
+  theta_limit_ = config_.m == 0
+                     ? 0.0
+                     : theta_limit_for(config_.p, config_.m, r_hat_, a_hat_);
 }
 
 }  // namespace wsched::core

@@ -59,6 +59,15 @@ class ReservationController {
   /// (the load managers "update theta'_2 periodically", §4).
   void update();
 
+  /// Membership change under churn: re-sizes Theorem 1 from the
+  /// *effective* node/master counts (crashed nodes excluded, promoted
+  /// slaves included) and recomputes theta'_2 immediately. m == 0 (all
+  /// masters dead, nothing promotable) closes the reservation entirely
+  /// (theta'_2 = 0) until a master returns. The self-stabilizing r_hat /
+  /// a_hat estimates are kept: the workload did not change, the cluster
+  /// did.
+  void set_membership(int p, int m);
+
   /// Probability that masters are admitted as candidates for the next
   /// dynamic request. A binary fraction-below-limit gate causes pulsed
   /// herding: while closed, dynamic work piles onto the slaves, so the

@@ -1,0 +1,101 @@
+#include "fault/fault.hpp"
+
+#include <stdexcept>
+
+namespace wsched::fault {
+
+FaultInjector::FaultInjector(sim::Engine& engine,
+                             std::vector<sim::Node*> nodes,
+                             const FaultConfig& config, int initial_masters,
+                             std::uint64_t seed)
+    : engine_(engine),
+      nodes_(std::move(nodes)),
+      config_(config),
+      initial_masters_(initial_masters),
+      down_since_(nodes_.size(), 0) {
+  for (const FaultEvent& event : config_.script)
+    if (event.node < 0 ||
+        event.node >= static_cast<int>(nodes_.size()))
+      throw std::invalid_argument("fault script targets unknown node");
+  if (config_.mttf_s < 0.0 || config_.mttr_s <= 0.0)
+    throw std::invalid_argument("fault: need mttf >= 0 and mttr > 0");
+  // Stream ids keyed by node id: adding consumers elsewhere never
+  // perturbs fault times, and vice versa.
+  streams_.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    streams_.emplace_back(seed, 0xFA010000ULL + i);
+}
+
+void FaultInjector::start() {
+  for (const FaultEvent& event : config_.script)
+    engine_.schedule_at(event.at, [this, event] { apply(event); });
+  if (config_.mttf_s <= 0.0) return;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const bool master = static_cast<int>(i) < initial_masters_;
+    if (master ? config_.fail_masters : config_.fail_slaves)
+      schedule_next_failure(static_cast<int>(i));
+  }
+}
+
+void FaultInjector::apply(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kCrash:
+      crash_node(event.node);
+      break;
+    case FaultKind::kRecover:
+      recover_node(event.node);
+      break;
+    case FaultKind::kDegrade:
+      // Factors persist across crash/recovery until explicitly restored.
+      nodes_[static_cast<std::size_t>(event.node)]->set_degradation(
+          event.cpu_factor, event.disk_factor);
+      break;
+  }
+}
+
+void FaultInjector::crash_node(int node) {
+  sim::Node* target = nodes_[static_cast<std::size_t>(node)];
+  if (!target->alive()) return;  // scripted + stochastic crash collided
+  std::vector<sim::Job> dropped = target->crash();
+  ++crashes_;
+  ++down_count_;
+  down_since_[static_cast<std::size_t>(node)] = engine_.now();
+  if (on_crash_) on_crash_(node, std::move(dropped));
+}
+
+void FaultInjector::recover_node(int node) {
+  sim::Node* target = nodes_[static_cast<std::size_t>(node)];
+  if (target->alive()) return;
+  target->recover();
+  --down_count_;
+  downtime_ +=
+      engine_.now() - down_since_[static_cast<std::size_t>(node)];
+  if (on_recover_) on_recover_(node);
+}
+
+void FaultInjector::schedule_next_failure(int node) {
+  Rng& rng = streams_[static_cast<std::size_t>(node)];
+  const Time ttf = from_seconds(rng.exponential(config_.mttf_s));
+  const Time ttr = from_seconds(rng.exponential(config_.mttr_s));
+  engine_.schedule_after(ttf, [this, node] { crash_node(node); });
+  engine_.schedule_after(ttf + ttr, [this, node] {
+    recover_node(node);
+    schedule_next_failure(node);
+  });
+}
+
+Time FaultInjector::downtime_until(Time now) const {
+  Time total = downtime_;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (!nodes_[i]->alive()) total += now - down_since_[i];
+  return total;
+}
+
+double FaultInjector::availability(Time horizon) const {
+  if (horizon <= 0 || nodes_.empty()) return 1.0;
+  const double possible =
+      static_cast<double>(horizon) * static_cast<double>(nodes_.size());
+  return 1.0 - static_cast<double>(downtime_until(horizon)) / possible;
+}
+
+}  // namespace wsched::fault

@@ -1,0 +1,130 @@
+// Fault injection for the cluster simulation.
+//
+// Two sources of faults, both delivered through the shared event engine so
+// runs stay deterministic in the seed:
+//
+//   * a deterministic script — an explicit list of (time, node, kind)
+//     events, the tool for reproducible failure drills and tests;
+//   * stochastic churn — per-node exponential time-to-failure / time-to-
+//     repair (MTTF / MTTR), each node drawing from its own RNG stream so
+//     adding a node never perturbs the others' fault times.
+//
+// Crash faults destroy the node's in-flight work (the dropped jobs are
+// handed to the cluster for re-dispatch); degraded-mode faults (slow CPU,
+// stalled disk) scale the node's effective speeds without killing it.
+// The injector also keeps the ground-truth availability ledger: per-node
+// downtime integrated over the run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/health.hpp"
+#include "sim/engine.hpp"
+#include "sim/node.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace wsched::fault {
+
+enum class FaultKind : std::uint8_t {
+  kCrash,    ///< node dies; in-flight work is lost
+  kRecover,  ///< node returns, cold
+  kDegrade,  ///< speed factors change (1.0/1.0 restores nominal)
+};
+
+/// One scripted fault.
+struct FaultEvent {
+  Time at = 0;
+  int node = 0;
+  FaultKind kind = FaultKind::kCrash;
+  /// Degrade only: effective-speed factors (0.25 = four times slower).
+  double cpu_factor = 1.0;
+  double disk_factor = 1.0;
+};
+
+/// Everything the fault/failover layer needs; `enabled = false` (the
+/// default) keeps the entire subsystem out of the run — no health
+/// monitoring, no membership tracking, bit-identical metrics to a build
+/// without the subsystem.
+struct FaultConfig {
+  bool enabled = false;
+
+  /// Deterministic fault script, applied in event-time order.
+  std::vector<FaultEvent> script;
+
+  /// Stochastic churn: per-node mean time to failure / to repair in
+  /// seconds; mttf_s == 0 disables stochastic crashes.
+  double mttf_s = 0.0;
+  double mttr_s = 5.0;
+  /// Which initial roles stochastic crashes may hit.
+  bool fail_masters = true;
+  bool fail_slaves = true;
+
+  /// Failure detection: heartbeats ride the load sampling cadence
+  /// (heartbeat_period == 0 uses the cluster's load_sample_period);
+  /// a node is suspected after `suspect_misses` consecutive silent
+  /// rounds and declared dead after `dead_misses`.
+  Time heartbeat_period = 0;
+  int suspect_misses = 1;
+  int dead_misses = 2;
+
+  /// Failover: a request stranded by a crash (in flight on the node, or
+  /// landing on it before detection) is re-dispatched up to
+  /// `max_redispatch` times with linear backoff, each hop charged the
+  /// remote-CGI dispatch latency; beyond the cap it is counted as timed
+  /// out, never silently lost.
+  int max_redispatch = 4;
+  Time redispatch_backoff = 50 * kMillisecond;
+};
+
+class FaultInjector {
+ public:
+  /// Fires after the node is crashed; `dropped` is its lost in-flight work.
+  using CrashFn = std::function<void(int node, std::vector<sim::Job> dropped)>;
+  using RecoverFn = std::function<void(int node)>;
+
+  /// `initial_masters` = m under the static role convention (used only to
+  /// aim stochastic faults when fail_masters/fail_slaves differ).
+  FaultInjector(sim::Engine& engine, std::vector<sim::Node*> nodes,
+                const FaultConfig& config, int initial_masters,
+                std::uint64_t seed);
+
+  void set_on_crash(CrashFn fn) { on_crash_ = std::move(fn); }
+  void set_on_recover(RecoverFn fn) { on_recover_ = std::move(fn); }
+
+  /// Schedules every scripted event plus the first stochastic failure per
+  /// eligible node; call once before the run.
+  void start();
+
+  std::uint64_t crashes() const { return crashes_; }
+  int down_count() const { return down_count_; }
+  bool any_down() const { return down_count_ > 0; }
+
+  /// Total node-downtime accumulated up to `now` (open outage intervals
+  /// are closed at `now`).
+  Time downtime_until(Time now) const;
+  /// Node-seconds delivered / node-seconds possible over [0, horizon].
+  double availability(Time horizon) const;
+
+ private:
+  void apply(const FaultEvent& event);
+  void crash_node(int node);
+  void recover_node(int node);
+  void schedule_next_failure(int node);
+
+  sim::Engine& engine_;
+  std::vector<sim::Node*> nodes_;
+  FaultConfig config_;
+  int initial_masters_;
+  std::vector<Rng> streams_;   ///< one stochastic stream per node
+  std::vector<Time> down_since_;
+  Time downtime_ = 0;
+  int down_count_ = 0;
+  std::uint64_t crashes_ = 0;
+  CrashFn on_crash_;
+  RecoverFn on_recover_;
+};
+
+}  // namespace wsched::fault

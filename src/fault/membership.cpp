@@ -1,0 +1,64 @@
+#include "fault/membership.hpp"
+
+#include <stdexcept>
+
+namespace wsched::fault {
+
+Membership::Membership(int p, int m) {
+  if (p < 1) throw std::invalid_argument("membership: p must be >= 1");
+  if (m < 1 || m > p)
+    throw std::invalid_argument("membership: need 1 <= m <= p");
+  master_.assign(static_cast<std::size_t>(p), false);
+  alive_.assign(static_cast<std::size_t>(p), true);
+  for (int i = 0; i < m; ++i) master_[static_cast<std::size_t>(i)] = true;
+  rebuild();
+}
+
+void Membership::rebuild() {
+  masters_.clear();
+  slaves_.clear();
+  available_.clear();
+  for (int i = 0; i < p(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (!alive_[idx]) continue;
+    available_.push_back(i);
+    if (master_[idx]) {
+      masters_.push_back(i);
+    } else {
+      slaves_.push_back(i);
+    }
+  }
+}
+
+int Membership::mark_dead(int node) {
+  const auto idx = static_cast<std::size_t>(node);
+  if (!alive_[idx]) return -1;
+  alive_[idx] = false;
+  int promoted = -1;
+  if (master_[idx]) {
+    // Promote the lowest-id healthy slave, moving the role off the dead
+    // node so it rejoins as a slave. With no promotable slave the role
+    // stays put (effective m shrinks until the node recovers).
+    for (int i = 0; i < p(); ++i) {
+      const auto cand = static_cast<std::size_t>(i);
+      if (alive_[cand] && !master_[cand]) {
+        master_[cand] = true;
+        master_[idx] = false;
+        promoted = i;
+        ++promotions_;
+        break;
+      }
+    }
+  }
+  rebuild();
+  return promoted;
+}
+
+void Membership::mark_alive(int node) {
+  const auto idx = static_cast<std::size_t>(node);
+  if (alive_[idx]) return;
+  alive_[idx] = true;
+  rebuild();
+}
+
+}  // namespace wsched::fault

@@ -1,0 +1,72 @@
+// Cluster membership under churn.
+//
+// The dispatch convention of the healthy cluster — "nodes [0, m) are
+// masters" — stops being true the moment a master dies. Membership tracks
+// which nodes currently hold the master role and which are available at
+// all, and implements the promotion rule: when a master is declared dead
+// and a healthy slave exists, the lowest-id healthy slave is promoted in
+// its place, keeping the master pool at the Theorem-1 size whenever
+// possible. A recovered ex-master rejoins as a slave (its role moved to
+// the promoted node); a master that died with no promotable slave keeps
+// its role and resumes it on recovery.
+//
+// Role changes are driven by *declared* state (the HealthMonitor's dead /
+// recovered transitions), not by the actual crash instant — detection
+// latency is part of the model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wsched::fault {
+
+class Membership {
+ public:
+  /// Nodes [0, m) start as masters, the rest as slaves; all start alive.
+  Membership(int p, int m);
+
+  int p() const { return static_cast<int>(master_.size()); }
+  /// Healthy node / healthy master counts — the *effective* (p, m) that
+  /// the reservation controller should size theta'_2 from.
+  int effective_p() const { return static_cast<int>(available_.size()); }
+  int effective_m() const { return static_cast<int>(masters_.size()); }
+
+  bool is_master(int node) const {
+    return master_[static_cast<std::size_t>(node)];
+  }
+  bool is_available(int node) const {
+    return alive_[static_cast<std::size_t>(node)];
+  }
+
+  /// Healthy masters / healthy slaves / all healthy nodes, ascending by id.
+  /// With every node healthy these are [0, m), [m, p) and [0, p) — exactly
+  /// the static convention, so fault-aware dispatch degenerates to the
+  /// fault-free code path.
+  const std::vector<int>& masters() const { return masters_; }
+  const std::vector<int>& slaves() const { return slaves_; }
+  const std::vector<int>& available() const { return available_; }
+
+  /// Declares a node dead. If it held the master role and a healthy slave
+  /// exists, promotes the lowest-id healthy slave; returns the promoted
+  /// node id, or -1 when no promotion happened.
+  int mark_dead(int node);
+
+  /// Declares a node recovered; it rejoins with whatever role it holds
+  /// (slave after an ex-master's role was handed off, master if it died
+  /// with no promotable slave).
+  void mark_alive(int node);
+
+  std::uint64_t promotions() const { return promotions_; }
+
+ private:
+  void rebuild();
+
+  std::vector<bool> master_;
+  std::vector<bool> alive_;
+  std::vector<int> masters_;
+  std::vector<int> slaves_;
+  std::vector<int> available_;
+  std::uint64_t promotions_ = 0;
+};
+
+}  // namespace wsched::fault

@@ -50,6 +50,12 @@ Time CpuScheduler::decayed(Time p_cpu, int load) const {
          (2 * static_cast<Time>(load) + 1);
 }
 
+void CpuScheduler::clear() {
+  for (auto& level : levels_) level.clear();
+  nonempty_mask_ = 0;
+  size_ = 0;
+}
+
 void CpuScheduler::rebucket_all() {
   std::vector<Process*> drained;
   drained.reserve(size_);

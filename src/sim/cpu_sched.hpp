@@ -51,6 +51,9 @@ class CpuScheduler {
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
 
+  /// Drops every queued process (node crash).
+  void clear();
+
  private:
   const OsParams* os_;
   std::vector<std::deque<Process*>> levels_;

@@ -39,6 +39,10 @@ class DiskScheduler {
   bool empty() const { return ring_.empty(); }
   std::size_t size() const { return ring_.size(); }
 
+  /// Drops every queued process (node crash); the owners are reclaimed by
+  /// the Node's live table, so no cleanup per process is needed here.
+  void clear() { ring_.clear(); }
+
  private:
   const OsParams* os_;
   std::deque<Process*> ring_;

@@ -15,16 +15,17 @@ Node::Node(Engine& engine, const OsParams& os, NodeParams params, int id)
       memory_(os) {}
 
 Time Node::cpu_wall(Time work) const {
-  return static_cast<Time>(static_cast<double>(work) / params_.cpu_speed +
-                           0.5);
+  return static_cast<Time>(
+      static_cast<double>(work) / (params_.cpu_speed * cpu_degr_) + 0.5);
 }
 
 Time Node::disk_wall(Time work) const {
-  return static_cast<Time>(static_cast<double>(work) / params_.disk_speed +
-                           0.5);
+  return static_cast<Time>(
+      static_cast<double>(work) / (params_.disk_speed * disk_degr_) + 0.5);
 }
 
 void Node::submit(Job job) {
+  assert(alive_);
   auto owned = std::make_unique<Process>();
   Process* proc = owned.get();
   proc->job = std::move(job);
@@ -91,7 +92,7 @@ void Node::preempt_running() {
   Time work_used =
       std::min(slice_work_, static_cast<Time>(
                                 static_cast<double>(wall_used) *
-                                    params_.cpu_speed +
+                                    params_.cpu_speed * cpu_degr_ +
                                 0.5));
   wall_used = cpu_wall(work_used);
   proc->p_cpu += work_used;
@@ -155,11 +156,13 @@ void Node::try_disk() {
   disk_active_ = proc;
   disk_slice_start_ = engine_.now();
   disk_slice_work_ = disk_sched_.slice_for(*proc);
+  const std::uint64_t token = disk_epoch_;
   engine_.schedule_at(disk_slice_start_ + disk_wall(disk_slice_work_),
-                      [this] { on_disk_slice_end(); });
+                      [this, token] { on_disk_slice_end(token); });
 }
 
-void Node::on_disk_slice_end() {
+void Node::on_disk_slice_end(std::uint64_t token) {
+  if (token != disk_epoch_) return;  // node crashed; stale event
   Process* proc = disk_active_;
   assert(proc != nullptr);
   proc->io_left -= std::min(proc->io_left, disk_slice_work_);
@@ -219,6 +222,64 @@ void Node::on_tick() {
     proc->p_cpu = cpu_sched_.decayed(proc->p_cpu, load);
   cpu_sched_.rebucket_all();
   engine_.schedule_after(os_.priority_update_period, [this] { on_tick(); });
+}
+
+std::vector<Job> Node::crash() {
+  assert(alive_);
+  alive_ = false;
+
+  // Charge the partially-run slices up to the crash instant so the busy
+  // counters stay monotone and the next load sample reflects reality.
+  const Time now = engine_.now();
+  if (running_ != nullptr) {
+    const Time wall_used = std::max<Time>(0, now - slice_start_);
+    const Time work_used = std::min(
+        slice_work_,
+        static_cast<Time>(static_cast<double>(wall_used) *
+                              params_.cpu_speed * cpu_degr_ +
+                          0.5));
+    cpu_busy_ += cpu_wall(work_used);
+    total_cpu_service_ += work_used;
+    running_ = nullptr;
+  }
+  ++cpu_epoch_;  // cancel the pending CPU slice-end event
+  if (disk_active_ != nullptr) {
+    const Time wall_used = std::max<Time>(0, now - disk_slice_start_);
+    const Time work_used = std::min(
+        disk_slice_work_,
+        static_cast<Time>(static_cast<double>(wall_used) *
+                              params_.disk_speed * disk_degr_ +
+                          0.5));
+    disk_busy_ += disk_wall(work_used);
+    total_disk_service_ += work_used;
+    disk_active_ = nullptr;
+  }
+  ++disk_epoch_;  // cancel the pending disk slice-end event
+  cpu_sched_.clear();
+  disk_sched_.clear();
+  last_on_cpu_ = nullptr;
+
+  std::vector<Job> dropped;
+  dropped.reserve(live_.size());
+  for (auto& proc : live_) {
+    memory_.release(proc->granted_pages);
+    dropped.push_back(std::move(proc->job));
+  }
+  live_.clear();
+  return dropped;
+}
+
+void Node::recover() {
+  assert(!alive_);
+  alive_ = true;
+  // Queues and memory were reclaimed at crash time; the node restarts
+  // cold. A still-pending priority tick self-cancels on an empty node.
+}
+
+void Node::set_degradation(double cpu_factor, double disk_factor) {
+  assert(cpu_factor > 0.0 && disk_factor > 0.0);
+  cpu_degr_ = cpu_factor;
+  disk_degr_ = disk_factor;
 }
 
 Time Node::cpu_busy_until(Time now) const {

@@ -35,7 +35,29 @@ class Node {
   /// Accepts a job at the current engine time: charges fork overhead for
   /// dynamic requests, allocates memory (incurring paging I/O on
   /// shortfall), plans bursts and makes the process runnable.
+  /// Precondition: the node is alive (callers must check `alive()`).
   void submit(Job job);
+
+  // --- fault model (driven by fault::FaultInjector) ---
+
+  bool alive() const { return alive_; }
+
+  /// Kills the node: every in-flight process is destroyed (its partial work
+  /// is lost), queues are cleared, pending slice events are cancelled and
+  /// memory is reclaimed. Returns the jobs that were live so the cluster
+  /// can re-dispatch them. The partially-run CPU/disk slices are charged to
+  /// the busy counters pro rata so load accounting stays monotone.
+  std::vector<Job> crash();
+
+  /// Brings a crashed node back with empty queues and cold memory.
+  void recover();
+
+  /// Degraded-mode fault: scales effective CPU/disk speed by the given
+  /// factors (1.0 = nominal, 0.25 = four times slower). Takes effect from
+  /// the next scheduled slice; the in-flight slice completes as planned.
+  void set_degradation(double cpu_factor, double disk_factor);
+  double cpu_degradation() const { return cpu_degr_; }
+  double disk_degradation() const { return disk_degr_; }
 
   // --- load introspection (consumed by core::LoadMonitor) ---
 
@@ -63,7 +85,7 @@ class Node {
   void on_cpu_slice_end(std::uint64_t token);
   void enter_disk(Process* proc);
   void try_disk();
-  void on_disk_slice_end();
+  void on_disk_slice_end(std::uint64_t token);
   void finish_cycle(Process* proc);
   void complete(Process* proc);
   void ensure_tick();
@@ -91,10 +113,16 @@ class Node {
   Time slice_start_ = 0;    ///< wall time the slice begins (after any switch)
   Time slice_work_ = 0;     ///< planned CPU work in the slice (ref seconds)
 
-  // Disk state; disk slices are never preempted, so no epoch is needed.
+  // Disk state. Disk slices are never preempted; the epoch only advances
+  // on a crash, cancelling the in-flight slice-end event.
   Process* disk_active_ = nullptr;
+  std::uint64_t disk_epoch_ = 0;
   Time disk_slice_start_ = 0;
   Time disk_slice_work_ = 0;
+
+  bool alive_ = true;
+  double cpu_degr_ = 1.0;   ///< degraded-mode CPU speed factor
+  double disk_degr_ = 1.0;  ///< degraded-mode disk speed factor
 
   bool tick_active_ = false;
 

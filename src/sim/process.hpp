@@ -22,6 +22,9 @@ struct Job {
   Time cluster_arrival = 0;  ///< arrival at the cluster front end
   bool remote = false;       ///< executed away from the receiving master
   int receiver = 0;          ///< node that accepted the request
+  /// Failover bookkeeping (0 / false unless the fault layer is active).
+  std::uint32_t attempts = 0;  ///< re-dispatches after a node crash
+  bool disrupted = false;      ///< touched by a failure window
 };
 
 /// Alternating CPU / I/O demand, one entry per cycle.

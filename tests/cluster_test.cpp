@@ -4,6 +4,9 @@
 // qualitative orderings between scheduler variants.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/cluster.hpp"
 #include "core/experiment.hpp"
 #include "model/optimize.hpp"
@@ -228,6 +231,21 @@ TEST(Improvement, Definition) {
   b.run.metrics.stretch = 3.0;
   EXPECT_NEAR(improvement(a, b), 0.5, 1e-12);
   EXPECT_NEAR(improvement(b, a), 2.0 / 3.0 - 1.0, 1e-12);
+}
+
+TEST(Improvement, DegenerateStretchesYieldZeroNotInfOrNan) {
+  // A failure-mangled run can report zero or non-finite stretch; the
+  // comparison must degrade to "no improvement", not emit inf/NaN.
+  ExperimentResult zero, ok, nan, inf;
+  zero.run.metrics.stretch = 0.0;
+  ok.run.metrics.stretch = 2.0;
+  nan.run.metrics.stretch = std::numeric_limits<double>::quiet_NaN();
+  inf.run.metrics.stretch = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(improvement(zero, ok), 0.0);
+  EXPECT_DOUBLE_EQ(improvement(ok, nan), 0.0);
+  EXPECT_DOUBLE_EQ(improvement(nan, ok), 0.0);
+  EXPECT_DOUBLE_EQ(improvement(inf, ok), 0.0);
+  EXPECT_TRUE(std::isfinite(improvement(ok, inf)));
 }
 
 }  // namespace
