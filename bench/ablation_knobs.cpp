@@ -1,27 +1,24 @@
 // Ablation bench for the implementation mechanisms DESIGN.md §5 documents:
 // the three pieces a working min-RSRC dispatcher needs that the paper does
-// not spell out. Each row removes or degrades one mechanism on the same
-// workload:
+// not spell out. Each variant removes or degrades one mechanism on the same
+// workload (the variant axis is a comparison axis, reseed=false):
 //
 //   baseline        — per-receiver dispatch feedback, tapered admission,
 //                     near-tie tolerance 0.3, 100 ms load sampling.
-//   no feedback     — receivers forget their own dispatches.
-//   binary gate     — threshold reservation gate (pulsed herding).
-//   argmin pick     — tolerance 0 (exact minimum, shared-snapshot herding).
-//   stale sampling  — 500 ms load sampling period.
-//   all naive       — everything above at once: the paper's text read
+//   no-feedback     — receivers forget their own dispatches.
+//   binary-gate     — threshold reservation gate (pulsed herding).
+//   argmin          — tolerance 0 (exact minimum, shared-snapshot herding).
+//   stale-500ms     — 500 ms load sampling period.
+//   all-naive       — everything above at once: the paper's text read
 //                     literally, no engineering in between.
+//
+// Shared harness CLI: --jobs/--filter/--out/--list (see harness/bench_cli).
 #include <cstdio>
 
-#include "core/cluster.hpp"
-#include "core/experiment.hpp"
-#include "trace/generator.hpp"
-#include "util/cli.hpp"
+#include "harness/bench_cli.hpp"
 #include "util/table.hpp"
 
 namespace {
-
-using namespace wsched;
 
 struct Variant {
   const char* name;
@@ -31,70 +28,63 @@ struct Variant {
   double sample_period_s;
 };
 
+constexpr Variant kVariants[] = {
+    {"baseline", true, false, 0.30, 0.1},
+    {"no-feedback", false, false, 0.30, 0.1},
+    {"binary-gate", true, true, 0.30, 0.1},
+    {"argmin", true, false, 0.0, 0.1},
+    {"stale-500ms", true, false, 0.30, 0.5},
+    {"all-naive", false, true, 0.0, 0.5},
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  const bool quick = env_flag("WSCHED_QUICK", false) ||
-                     args.get_bool("quick", false);
+  using namespace wsched;
+  const harness::BenchCli cli(argc, argv);
 
-  trace::GeneratorConfig gen;
-  gen.profile = trace::ksu_profile();
-  gen.lambda = args.get_double("lambda", 600);
-  gen.duration_s = quick ? 6.0 : 12.0;
-  gen.r = 1.0 / 40.0;
-  gen.seed = 1999;
-  const trace::Trace trace = trace::generate(gen);
-  const double a =
-      gen.profile.cgi_fraction / (1 - gen.profile.cgi_fraction);
+  harness::SweepSpec sweep;
+  sweep.base.profile = trace::ksu_profile();
+  sweep.base.p = 16;
+  sweep.base.lambda = cli.args.get_double("lambda", 600);
+  sweep.base.r = 1.0 / 40.0;
+  sweep.base.duration_s = cli.quick ? 6.0 : 12.0;
+  sweep.base.warmup_s = 2.0;
+  sweep.base.seed = 1999;
+  sweep.base.kind = core::SchedulerKind::kMs;
 
-  const int p = 16;
-  core::ExperimentSpec sizing;
-  sizing.profile = gen.profile;
-  sizing.p = p;
-  sizing.lambda = gen.lambda;
-  sizing.r = gen.r;
-  const int m = core::masters_from_theorem(core::analytic_workload(sizing));
+  harness::Axis variants{"variant", {}, false};
+  for (const Variant& v : kVariants) {
+    variants.values.push_back(
+        {v.name,
+         [v](core::ExperimentSpec& s) {
+           s.use_dispatch_feedback = v.feedback;
+           s.binary_admission = v.binary_gate;
+           s.rsrc_tolerance = v.tolerance;
+           s.load_sample_period_s = v.sample_period_s;
+         },
+         {}});
+  }
+  sweep.axes = {variants};
 
-  std::printf("Mechanism ablation: KSU profile, lambda=%.0f, p=%d (m=%d)\n\n",
-              gen.lambda, p, m);
+  const auto run = harness::run_bench(sweep, cli, harness::experiment_row);
+  if (!run) return 0;
 
-  const Variant variants[] = {
-      {"baseline", true, false, 0.30, 0.1},
-      {"no feedback", false, false, 0.30, 0.1},
-      {"binary gate", true, true, 0.30, 0.1},
-      {"argmin pick (tol 0)", true, false, 0.0, 0.1},
-      {"stale sampling (500ms)", true, false, 0.30, 0.5},
-      {"all naive", false, true, 0.0, 0.5},
-  };
+  std::printf("Mechanism ablation: KSU profile, lambda=%.0f, p=%d (m=%s)\n\n",
+              sweep.base.lambda, sweep.base.p,
+              run->rows.empty() ? "?" : run->rows.front().text("m").c_str());
 
-  Table table({"variant", "stretch", "static", "dynamic",
-               "vs baseline"});
+  Table table({"variant", "stretch", "static", "dynamic", "vs baseline"});
   double baseline_stretch = 0.0;
-  for (const Variant& variant : variants) {
-    core::ClusterConfig config;
-    config.p = p;
-    config.m = m;
-    config.seed = 1999;
-    config.warmup = 2 * kSecond;
-    config.load_sample_period = from_seconds(variant.sample_period_s);
-    config.use_dispatch_feedback = variant.feedback;
-    config.reservation.initial_r = gen.r;
-    config.reservation.initial_a = a;
-    config.initial_dynamic_demand_s = 1.0 / (gen.r * gen.mu_h);
-    core::MsOptions options;
-    options.rsrc_tolerance = variant.tolerance;
-    options.binary_admission = variant.binary_gate;
-    core::ClusterSim cluster(config, core::make_ms(options));
-    const core::RunResult run = cluster.run(trace);
-    if (baseline_stretch == 0.0) baseline_stretch = run.metrics.stretch;
+  for (const harness::ResultRow& row : run->rows) {
+    const double stretch = row.number("stretch");
+    if (baseline_stretch == 0.0) baseline_stretch = stretch;
     table.row()
-        .cell(variant.name)
-        .cell(run.metrics.stretch, 3)
-        .cell(run.metrics.stretch_static, 3)
-        .cell(run.metrics.stretch_dynamic, 3)
-        .cell_percent(run.metrics.stretch / baseline_stretch - 1.0);
-    std::fflush(stdout);
+        .cell(row.text("variant"))
+        .cell(stretch, 3)
+        .cell(row.number("stretch_static"), 3)
+        .cell(row.number("stretch_dynamic"), 3)
+        .cell_percent(stretch / baseline_stretch - 1.0);
   }
   std::fputs(table.str().c_str(), stdout);
   std::printf(

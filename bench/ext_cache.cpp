@@ -4,75 +4,78 @@
 // Dynamic-request popularity is Zipf over distinct content items, so a
 // modest per-master LRU absorbs a large share of CGI executions. The sweep
 // varies cache capacity and TTL on a CGI-heavy workload and reports the
-// hit ratio and the resulting stretch next to the uncached M/S run.
+// hit ratio and the resulting stretch next to the uncached M/S run. The
+// cache axis is a comparison axis (reseed=false): every configuration
+// replays the identical trace.
+//
+// Shared harness CLI: --jobs/--filter/--out/--list (see harness/bench_cli).
 #include <cstdio>
 
-#include "core/cluster.hpp"
-#include "core/experiment.hpp"
-#include "trace/generator.hpp"
-#include "util/cli.hpp"
+#include "harness/bench_cli.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace wsched;
-  const CliArgs args(argc, argv);
-  const bool quick = env_flag("WSCHED_QUICK", false) ||
-                     args.get_bool("quick", false);
-  const double duration = args.get_double("duration", quick ? 6.0 : 12.0);
+  const harness::BenchCli cli(argc, argv);
 
-  trace::GeneratorConfig gen;
-  gen.profile = trace::ksu_profile();
-  gen.lambda = args.get_double("lambda", 800);
-  gen.duration_s = duration;
-  gen.r = 1.0 / 40.0;
-  gen.seed = 1999;
-  gen.cgi_distinct_urls =
-      static_cast<std::uint64_t>(args.get_int("urls", 2000));
-  gen.cgi_zipf_s = args.get_double("zipf", 0.9);
-  const trace::Trace trace = trace::generate(gen);
+  harness::SweepSpec sweep;
+  sweep.base.profile = trace::ksu_profile();
+  sweep.base.p = 16;
+  sweep.base.lambda = cli.args.get_double("lambda", 800);
+  sweep.base.r = 1.0 / 40.0;
+  sweep.base.duration_s =
+      cli.args.get_double("duration", cli.quick ? 6.0 : 12.0);
+  sweep.base.warmup_s = sweep.base.duration_s * 0.2;
+  sweep.base.seed = 1999;
+  sweep.base.kind = core::SchedulerKind::kMs;
+  sweep.base.cgi_distinct_urls =
+      static_cast<std::uint64_t>(cli.args.get_int("urls", 2000));
+  sweep.base.cgi_zipf_s = cli.args.get_double("zipf", 0.9);
 
-  core::ExperimentSpec sizing;
-  sizing.profile = gen.profile;
-  sizing.p = 16;
-  sizing.lambda = gen.lambda;
-  sizing.r = gen.r;
-  const int m = core::masters_from_theorem(core::analytic_workload(sizing));
-
-  std::printf("CGI caching extension: KSU profile, lambda=%.0f, 16 nodes "
-              "(m=%d), %llu distinct CGI urls, Zipf s=%.2f\n\n",
-              gen.lambda, m,
-              static_cast<unsigned long long>(gen.cgi_distinct_urls),
-              gen.cgi_zipf_s);
-
-  Table table({"cache entries/master", "TTL (s)", "hit ratio", "stretch",
-               "stretch static", "stretch dynamic"});
+  // One combined (entries, TTL) axis rather than a cross product: the
+  // uncached baseline needs no TTL variants.
+  harness::Axis cache{"cache", {}, false};
   for (const std::size_t entries : {std::size_t{0}, std::size_t{64},
                                     std::size_t{256}, std::size_t{1024}}) {
     for (const double ttl_s : {5.0, 30.0}) {
-      if (entries == 0 && ttl_s != 5.0) continue;  // one uncached row
-      core::ClusterConfig config;
-      config.p = 16;
-      config.m = m;
-      config.seed = 1999;
-      config.warmup = from_seconds(duration * 0.2);
-      config.reservation.initial_r = gen.r;
-      config.reservation.initial_a =
-          gen.profile.cgi_fraction / (1 - gen.profile.cgi_fraction);
-      config.initial_dynamic_demand_s = 1.0 / (gen.r * gen.mu_h);
-      config.cgi_cache_entries = entries;
-      config.cgi_cache_ttl = from_seconds(ttl_s);
-      config.cache_hit_mu = gen.mu_h;
-      core::ClusterSim cluster(config, core::make_ms());
-      const core::RunResult run = cluster.run(trace);
-      table.row()
-          .cell(static_cast<long long>(entries))
-          .cell(entries == 0 ? std::string("-") : fixed(ttl_s, 0))
-          .cell_percent(run.cache_hit_ratio)
-          .cell(run.metrics.stretch, 3)
-          .cell(run.metrics.stretch_static, 3)
-          .cell(run.metrics.stretch_dynamic, 3);
-      std::fflush(stdout);
+      if (entries == 0 && ttl_s != 5.0) continue;  // one uncached value
+      harness::AxisValue value;
+      value.label = entries == 0 ? "off"
+                                 : std::to_string(entries) + "x" +
+                                       fixed(ttl_s, 0) + "s";
+      value.coords = {
+          {"entries", std::to_string(entries)},
+          {"ttl_s", entries == 0 ? "-" : fixed(ttl_s, 0)},
+      };
+      value.apply = [entries, ttl_s](core::ExperimentSpec& s) {
+        s.cgi_cache_entries = entries;
+        s.cgi_cache_ttl_s = ttl_s;
+      };
+      cache.values.push_back(std::move(value));
     }
+  }
+  sweep.axes = {cache};
+
+  const auto run = harness::run_bench(sweep, cli, harness::experiment_row);
+  if (!run) return 0;
+
+  std::printf("CGI caching extension: KSU profile, lambda=%.0f, 16 nodes "
+              "(m=%s), %llu distinct CGI urls, Zipf s=%.2f\n\n",
+              sweep.base.lambda,
+              run->rows.empty() ? "?" : run->rows.front().text("m").c_str(),
+              static_cast<unsigned long long>(sweep.base.cgi_distinct_urls),
+              sweep.base.cgi_zipf_s);
+
+  Table table({"cache entries/master", "TTL (s)", "hit ratio", "stretch",
+               "stretch static", "stretch dynamic"});
+  for (const harness::ResultRow& row : run->rows) {
+    table.row()
+        .cell(row.text("entries"))
+        .cell(row.text("ttl_s"))
+        .cell_percent(row.number("cache_hit_ratio"))
+        .cell(row.number("stretch"), 3)
+        .cell(row.number("stretch_static"), 3)
+        .cell(row.number("stretch_dynamic"), 3);
   }
   std::fputs(table.str().c_str(), stdout);
   std::printf(

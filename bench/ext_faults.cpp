@@ -5,136 +5,144 @@
 // traffic (re-dispatch hops), requests lost to the retry cap, and slave
 // promotions replacing dead masters.
 //
-// Two experiments:
-//   1. a churn sweep, MTTF in {none, 60 s, 20 s, 5 s} x {M/S, M/S-1, Flat};
-//   2. the reproducible drill from the tests: one master crashes at t = 5 s
-//      and stays down, and the tail window (arrivals after 7 s) shows the
-//      post-promotion stretch against a clean run on the same trace.
+// Two sweeps:
+//   1. "churn": MTTF in {none, 60 s, 20 s, 5 s} x {M/S, M/S-1, Flat};
+//      both axes are comparison axes, so all cells replay the same trace;
+//   2. "drill": the reproducible scenario from the tests — one master
+//      crashes at t = 5 s and stays down, and the tail window (arrivals
+//      after 7 s) shows the post-promotion stretch against a clean run on
+//      the same trace.
+//
+// Shared harness CLI: --jobs/--filter/--out/--list (see harness/bench_cli).
+// With --out, artifacts are written per sweep (<out>-churn.*, <out>-drill.*).
 #include <cstdio>
 #include <vector>
 
-#include "core/experiment.hpp"
-#include "trace/profile.hpp"
-#include "util/cli.hpp"
+#include "harness/bench_cli.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace wsched;
 
-core::ExperimentSpec base_spec(bool quick) {
+core::ExperimentSpec base_spec(const harness::BenchCli& cli) {
   core::ExperimentSpec spec;
   spec.profile = trace::ksu_profile();
   spec.p = 16;
-  spec.lambda = 600;
+  spec.lambda = cli.args.get_double("lambda", 600);
   spec.r = 1.0 / 40.0;
-  spec.duration_s = quick ? 8.0 : 20.0;
+  spec.duration_s = cli.quick ? 8.0 : 20.0;
   spec.warmup_s = 2.0;
   spec.seed = 1999;
+  spec.fault.mttr_s = cli.args.get_double("mttr", 4.0);
   return spec;
-}
-
-std::string label(core::SchedulerKind kind) {
-  switch (kind) {
-    case core::SchedulerKind::kMs: return "M/S";
-    case core::SchedulerKind::kMs1: return "M/S-1";
-    case core::SchedulerKind::kFlat: return "Flat";
-    default: return core::to_string(kind);
-  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  const bool quick = env_flag("WSCHED_QUICK", false) ||
-                     args.get_bool("quick", false);
+  const harness::BenchCli cli(argc, argv);
 
-  core::ExperimentSpec spec = base_spec(quick);
-  spec.lambda = args.get_double("lambda", spec.lambda);
-  spec.fault.mttr_s = args.get_double("mttr", 4.0);
+  core::ExperimentSpec spec = base_spec(cli);
   if (spec.lambda <= 0.0 || spec.fault.mttr_s <= 0.0) {
     std::fprintf(stderr, "error: --lambda and --mttr must be > 0\n");
     return 2;
   }
+
+  // Sweep 1: exponential churn across scheduler variants.
+  harness::SweepSpec churn;
+  churn.name = "churn";
+  churn.base = spec;
+  churn.axes = {
+      harness::scheduler_axis({core::SchedulerKind::kMs,
+                               core::SchedulerKind::kMs1,
+                               core::SchedulerKind::kFlat}),
+      harness::make_axis(
+          "mttf", std::vector<double>{0.0, 60.0, 20.0, 5.0},
+          [](double v) { return v > 0.0 ? fixed(v, 0) : std::string("none"); },
+          [](core::ExperimentSpec& s, double v) {
+            s.fault.enabled = v > 0.0;
+            s.fault.mttf_s = v;
+          }),
+  };
+  churn.axes[1].reseed = false;  // every cell replays the same trace
+
+  // Sweep 2: deterministic master-crash drill vs a clean run.
+  harness::SweepSpec drill;
+  drill.name = "drill";
+  drill.base = base_spec(cli);
+  drill.base.kind = core::SchedulerKind::kMs;
+  drill.base.duration_s = cli.quick ? 10.0 : 20.0;
+  drill.base.metrics_tail_start_s = 7.0;
+  harness::Axis scenario{"scenario", {}, false};
+  scenario.values = {
+      {"clean", {}, {}},
+      {"master-crash",
+       [](core::ExperimentSpec& s) {
+         s.fault.enabled = true;
+         s.fault.script.push_back(
+             {5 * kSecond, 0, fault::FaultKind::kCrash, 1.0, 1.0});
+       },
+       {}},
+  };
+  drill.axes = {scenario};
+
+  const auto churn_run =
+      harness::run_bench(churn, cli, harness::experiment_row);
+  const auto drill_run =
+      harness::run_bench(drill, cli, harness::experiment_row);
+  if (!churn_run || !drill_run) return 0;  // --list mode
 
   std::printf("Fault injection: p=%d, KSU profile, lambda=%.0f, 1/r=%.0f, "
               "%.0f s runs, MTTR=%.0f s\n\n",
               spec.p, spec.lambda, 1.0 / spec.r, spec.duration_s,
               spec.fault.mttr_s);
 
-  const std::vector<double> mttfs = {0.0, 60.0, 20.0, 5.0};
-  const std::vector<core::SchedulerKind> kinds = {
-      core::SchedulerKind::kMs, core::SchedulerKind::kMs1,
-      core::SchedulerKind::kFlat};
-
-  Table sweep({"scheduler", "mttf", "stretch", "avail", "crashes",
-               "redisp", "timeout", "promote"});
-  for (const auto kind : kinds) {
-    for (const double mttf : mttfs) {
-      core::ExperimentSpec run = spec;
-      run.kind = kind;
-      run.fault.enabled = mttf > 0.0;
-      run.fault.mttf_s = mttf;
-      const core::ExperimentResult result = core::run_experiment(run);
-      sweep.row()
-          .cell(label(kind))
-          .cell(mttf > 0.0 ? fixed(mttf, 0) + " s" : std::string("none"))
-          .cell(result.run.metrics.stretch, 3)
-          .cell_percent(result.run.availability, 2)
-          .cell(static_cast<long long>(result.run.node_crashes))
-          .cell(static_cast<long long>(result.run.redispatches))
-          .cell(static_cast<long long>(result.run.timeouts))
-          .cell(static_cast<long long>(result.run.promotions));
-    }
+  Table sweep_table({"scheduler", "mttf", "stretch", "avail", "crashes",
+                     "redisp", "timeout", "promote"});
+  for (const harness::ResultRow& row : churn_run->rows) {
+    const std::string mttf = row.text("mttf");
+    sweep_table.row()
+        .cell(row.text("scheduler"))
+        .cell(mttf == "none" ? mttf : mttf + " s")
+        .cell(row.number("stretch"), 3)
+        .cell_percent(row.number("availability"), 2)
+        .cell(row.text("node_crashes"))
+        .cell(row.text("redispatches"))
+        .cell(row.text("timeouts"))
+        .cell(row.text("promotions"));
   }
-  std::fputs(sweep.str().c_str(), stdout);
+  std::fputs(sweep_table.str().c_str(), stdout);
 
-  // Reproducible drill: kill master 0 at t = 5 s, never recover it, and
-  // compare the post-failover tail against the same trace with no fault.
   std::printf("\nMaster-crash drill (M/S): node 0 dies at t=5 s, tail "
               "window = arrivals after 7 s\n\n");
-  core::ExperimentSpec clean = base_spec(quick);
-  clean.kind = core::SchedulerKind::kMs;
-  clean.lambda = spec.lambda;
-  clean.duration_s = quick ? 10.0 : 20.0;
-  clean.metrics_tail_start_s = 7.0;
-  core::ExperimentSpec drill = clean;
-  drill.fault.enabled = true;
-  drill.fault.script.push_back(
-      {5 * kSecond, 0, fault::FaultKind::kCrash, 1.0, 1.0});
-
-  const core::ExperimentResult base = core::run_experiment(clean);
-  const core::ExperimentResult hit = core::run_experiment(drill);
-
   Table d({"run", "stretch", "tail stretch", "avail", "redisp", "timeout",
            "promote"});
-  d.row()
-      .cell("clean")
-      .cell(base.run.metrics.stretch, 3)
-      .cell(base.run.metrics.stretch_tail, 3)
-      .cell_percent(base.run.availability, 2)
-      .cell(static_cast<long long>(base.run.redispatches))
-      .cell(static_cast<long long>(base.run.timeouts))
-      .cell(static_cast<long long>(base.run.promotions));
-  d.row()
-      .cell("master crash")
-      .cell(hit.run.metrics.stretch, 3)
-      .cell(hit.run.metrics.stretch_tail, 3)
-      .cell_percent(hit.run.availability, 2)
-      .cell(static_cast<long long>(hit.run.redispatches))
-      .cell(static_cast<long long>(hit.run.timeouts))
-      .cell(static_cast<long long>(hit.run.promotions));
+  const harness::ResultRow* clean = nullptr;
+  const harness::ResultRow* hit = nullptr;
+  for (const harness::ResultRow& row : drill_run->rows) {
+    if (row.text("scenario") == "clean") clean = &row;
+    else hit = &row;
+    d.row()
+        .cell(row.text("scenario") == "clean" ? "clean" : "master crash")
+        .cell(row.number("stretch"), 3)
+        .cell(row.number("stretch_tail"), 3)
+        .cell_percent(row.number("availability"), 2)
+        .cell(row.text("redispatches"))
+        .cell(row.text("timeouts"))
+        .cell(row.text("promotions"));
+  }
   std::fputs(d.str().c_str(), stdout);
-  if (base.run.metrics.stretch_tail > 0.0)
-    std::printf("\nPost-promotion tail stretch vs clean run: %s\n",
-                percent(hit.run.metrics.stretch_tail /
-                            base.run.metrics.stretch_tail -
-                        1.0)
-                    .c_str());
-  std::printf("Disrupted requests completed: %llu (stretch %.3f)\n",
-              static_cast<unsigned long long>(
-                  hit.run.metrics.completed_disrupted),
-              hit.run.metrics.stretch_disrupted);
+  if (clean && hit) {
+    if (clean->number("stretch_tail") > 0.0)
+      std::printf("\nPost-promotion tail stretch vs clean run: %s\n",
+                  percent(hit->number("stretch_tail") /
+                              clean->number("stretch_tail") -
+                          1.0)
+                      .c_str());
+    std::printf("Disrupted requests completed: %s (stretch %.3f)\n",
+                hit->text("completed_disrupted").c_str(),
+                hit->number("stretch_disrupted"));
+  }
   return 0;
 }

@@ -4,98 +4,85 @@
 // authors' earlier work [36]).
 //
 // The cluster mixes fast and slow slaves (2x CPU on half of them, 2x disk
-// on a quarter). Three dispatchers race on the same trace:
+// on a quarter). Three dispatchers race on the same trace (the dispatcher
+// axis is a comparison axis, reseed=false):
 //   * M/S speed-blind — Equation 5 as printed, treating all nodes equal;
 //   * M/S speed-aware — RSRC divided by per-node speed factors;
 //   * Flat — the usual random baseline.
+//
+// Shared harness CLI: --jobs/--filter/--out/--list (see harness/bench_cli).
 #include <cstdio>
 
-#include "core/cluster.hpp"
-#include "core/experiment.hpp"
-#include "trace/generator.hpp"
-#include "util/cli.hpp"
+#include "harness/bench_cli.hpp"
 #include "util/table.hpp"
 
-namespace {
-
-using namespace wsched;
-
-core::RunResult run(const trace::Trace& trace, int p, int m,
-                    std::unique_ptr<core::Dispatcher> dispatcher,
-                    std::vector<sim::NodeParams> params, double r,
-                    double a) {
-  core::ClusterConfig config;
-  config.p = p;
-  config.m = m;
-  config.seed = 1999;
-  config.warmup = 2 * kSecond;
-  config.node_params = std::move(params);
-  config.reservation.initial_r = r;
-  config.reservation.initial_a = a;
-  config.initial_dynamic_demand_s = 1.0 / (r * 1200.0);
-  core::ClusterSim cluster(config, std::move(dispatcher));
-  return cluster.run(trace);
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  const bool quick = env_flag("WSCHED_QUICK", false) ||
-                     args.get_bool("quick", false);
+  using namespace wsched;
+  const harness::BenchCli cli(argc, argv);
 
-  const int p = 16;
-  trace::GeneratorConfig gen;
-  gen.profile = trace::adl_profile();
-  gen.lambda = args.get_double("lambda", 500);
-  gen.duration_s = quick ? 6.0 : 12.0;
-  gen.r = 1.0 / 40.0;
-  gen.seed = 1999;
-  const trace::Trace trace = trace::generate(gen);
-  const double a =
-      gen.profile.cgi_fraction / (1 - gen.profile.cgi_fraction);
-
-  core::ExperimentSpec sizing;
-  sizing.profile = gen.profile;
-  sizing.p = p;
-  sizing.lambda = gen.lambda;
-  sizing.r = gen.r;
-  const int m = core::masters_from_theorem(core::analytic_workload(sizing));
+  harness::SweepSpec sweep;
+  sweep.base.profile = trace::adl_profile();
+  sweep.base.p = 16;
+  sweep.base.lambda = cli.args.get_double("lambda", 500);
+  sweep.base.r = 1.0 / 40.0;
+  sweep.base.duration_s = cli.quick ? 6.0 : 12.0;
+  sweep.base.warmup_s = 2.0;
+  sweep.base.seed = 1999;
+  const int m =
+      core::masters_from_theorem(core::analytic_workload(sweep.base));
+  sweep.base.m = m;
 
   // Heterogeneous slave pool: half the slaves have 2x CPUs, a quarter have
   // 2x disks (RAID-era upgrades bought at different times).
-  std::vector<sim::NodeParams> params(static_cast<std::size_t>(p));
-  for (int i = m; i < p; ++i) {
-    if ((i - m) % 2 == 0) params[static_cast<std::size_t>(i)].cpu_speed = 2.0;
-    if ((i - m) % 4 == 1) params[static_cast<std::size_t>(i)].disk_speed = 2.0;
+  sweep.base.node_params.resize(static_cast<std::size_t>(sweep.base.p));
+  for (int i = m; i < sweep.base.p; ++i) {
+    auto& node = sweep.base.node_params[static_cast<std::size_t>(i)];
+    if ((i - m) % 2 == 0) node.cpu_speed = 2.0;
+    if ((i - m) % 4 == 1) node.disk_speed = 2.0;
   }
+
+  harness::Axis dispatcher{"dispatcher", {}, false};
+  dispatcher.values = {
+      {"blind",
+       [](core::ExperimentSpec& s) { s.kind = core::SchedulerKind::kMs; },
+       {}},
+      {"aware",
+       [](core::ExperimentSpec& s) {
+         s.kind = core::SchedulerKind::kMs;
+         s.speed_aware = true;
+       },
+       {}},
+      {"flat",
+       [](core::ExperimentSpec& s) { s.kind = core::SchedulerKind::kFlat; },
+       {}},
+  };
+  sweep.axes = {dispatcher};
+
+  const auto run = harness::run_bench(sweep, cli, harness::experiment_row);
+  if (!run) return 0;
 
   std::printf("Heterogeneous cluster: p=%d (m=%d masters), ADL profile, "
               "lambda=%.0f, 1/r=%.0f\n",
-              p, m, gen.lambda, 1.0 / gen.r);
+              sweep.base.p, m, sweep.base.lambda, 1.0 / sweep.base.r);
   std::printf("Slaves: every other has 2x CPU; every fourth has 2x disk.\n\n");
 
   Table table({"dispatcher", "stretch", "static", "dynamic"});
-  {
-    const auto blind =
-        run(trace, p, m, core::make_ms(), params, gen.r, a);
-    table.row().cell("M/S speed-blind").cell(blind.metrics.stretch, 3)
-        .cell(blind.metrics.stretch_static, 3)
-        .cell(blind.metrics.stretch_dynamic, 3);
-    const auto aware = run(trace, p, m,
-                           core::make_ms({.speed_aware = true}), params,
-                           gen.r, a);
-    table.row().cell("M/S speed-aware").cell(aware.metrics.stretch, 3)
-        .cell(aware.metrics.stretch_static, 3)
-        .cell(aware.metrics.stretch_dynamic, 3);
-    const auto flat = run(trace, p, m, core::make_flat(), params, gen.r, a);
-    table.row().cell("Flat").cell(flat.metrics.stretch, 3)
-        .cell(flat.metrics.stretch_static, 3)
-        .cell(flat.metrics.stretch_dynamic, 3);
-    std::fputs(table.str().c_str(), stdout);
-    std::printf("\nSpeed-aware improvement over speed-blind: %s\n",
-                percent(blind.metrics.stretch / aware.metrics.stretch - 1.0)
-                    .c_str());
+  double blind_stretch = 0.0, aware_stretch = 0.0;
+  for (const harness::ResultRow& row : run->rows) {
+    const std::string& which = row.text("dispatcher");
+    const double stretch = row.number("stretch");
+    if (which == "blind") blind_stretch = stretch;
+    if (which == "aware") aware_stretch = stretch;
+    table.row()
+        .cell(which == "flat" ? "Flat"
+                              : "M/S speed-" + which)
+        .cell(stretch, 3)
+        .cell(row.number("stretch_static"), 3)
+        .cell(row.number("stretch_dynamic"), 3);
   }
+  std::fputs(table.str().c_str(), stdout);
+  if (aware_stretch > 0.0)
+    std::printf("\nSpeed-aware improvement over speed-blind: %s\n",
+                percent(blind_stretch / aware_stretch - 1.0).c_str());
   return 0;
 }

@@ -7,52 +7,77 @@
 // in model/optimize.hpp — the text-literal M/S' degenerates to the flat
 // model under processor sharing, so we print both that variant and the
 // fixed-partition reading.
+//
+// Shared harness CLI: --jobs/--filter/--out/--list (see harness/bench_cli).
 #include <cstdio>
+#include <limits>
 
+#include "harness/bench_cli.hpp"
 #include "model/optimize.hpp"
-#include "util/cli.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace wsched;
-  const CliArgs args(argc, argv);
+  const harness::BenchCli cli(argc, argv);
 
-  model::Workload base;
-  base.p = static_cast<int>(args.get_int("p", 32));
-  base.lambda = args.get_double("lambda", 1000);
-  base.mu_h = args.get_double("mu_h", 1200);
+  harness::SweepSpec sweep;
+  sweep.base.p = static_cast<int>(cli.args.get_int("p", 32));
+  sweep.base.lambda = cli.args.get_double("lambda", 1000);
+  sweep.base.mu_h = cli.args.get_double("mu_h", 1200);
+  sweep.axes = {
+      harness::make_axis(
+          "a", std::vector<double>{2.0 / 8.0, 3.0 / 7.0, 4.0 / 6.0},
+          [](double a) { return fixed(a, 2); },
+          [](core::ExperimentSpec& s, double a) { s.a = a; }),
+      harness::inv_r_axis({10, 20, 40, 80}),
+  };
 
-  const std::vector<double> as = {2.0 / 8.0, 3.0 / 7.0, 4.0 / 6.0};
-  const std::vector<double> inv_rs = {10, 20, 40, 80};
+  const auto eval = [](const harness::GridPoint& point) {
+    const model::Workload w = core::analytic_workload(point.spec);
+    const auto pt = model::figure3_grid(w, {w.a}, {1.0 / w.r}).front();
+    const auto ms = model::optimize_ms(w);
+    const auto part = model::optimize_ms_partition(w);
+    const bool feasible = pt.feasible && ms.has_value() && part.has_value();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    harness::ResultRow row;
+    row.set_bool("feasible", feasible)
+        .set("flat_stretch", feasible ? pt.flat_stretch : nan)
+        .set("ms_stretch", feasible ? pt.ms_stretch : nan)
+        .set("ms_m", feasible ? pt.best_m : 0)
+        .set("ms_theta", feasible ? ms->theta : nan)
+        .set("part_stretch", feasible ? part->stretch : nan)
+        .set("part_m", feasible ? part->m : 0)
+        .set("imp_vs_flat", feasible ? pt.improvement_vs_flat : nan)
+        .set("imp_vs_part",
+             feasible ? part->stretch / pt.ms_stretch - 1.0 : nan)
+        .set("imp_vs_literal", feasible ? pt.improvement_vs_msprime : nan);
+    return row;
+  };
+
+  const auto run = harness::run_bench(sweep, cli, eval);
+  if (!run) return 0;
 
   std::printf("Figure 3: analytic M/S improvement, lambda=%.0f p=%d mu_h=%.0f\n\n",
-              base.lambda, base.p, base.mu_h);
-
+              sweep.base.lambda, sweep.base.p, sweep.base.mu_h);
   Table table({"a", "1/r", "SF", "SM (m, theta)", "SM' part (m)",
                "3a: vs flat", "3b: vs M/S' part", "vs M/S' literal"});
-  const auto points = model::figure3_grid(base, as, inv_rs);
-  for (const auto& pt : points) {
-    model::Workload w = base;
-    w.a = pt.a;
-    w.r = 1.0 / pt.inv_r;
-    const auto part = model::optimize_ms_partition(w);
-    if (!pt.feasible || !part) {
-      table.row().cell(fixed(pt.a, 2)).cell(fixed(pt.inv_r, 0)).cell("-")
+  for (const harness::ResultRow& row : run->rows) {
+    if (row.number("feasible") == 0.0) {
+      table.row().cell(row.text("a")).cell(row.text("inv_r")).cell("-")
           .cell("unstable").cell("-").cell("-").cell("-").cell("-");
       continue;
     }
-    const auto ms = model::optimize_ms(w);
     table.row()
-        .cell(fixed(pt.a, 2))
-        .cell(fixed(pt.inv_r, 0))
-        .cell(pt.flat_stretch, 3)
-        .cell(fixed(pt.ms_stretch, 3) + " (m=" + std::to_string(pt.best_m) +
-              ", th=" + fixed(ms->theta, 3) + ")")
-        .cell(fixed(part->stretch, 3) + " (m=" + std::to_string(part->m) +
-              ")")
-        .cell_percent(pt.improvement_vs_flat)
-        .cell_percent(part->stretch / pt.ms_stretch - 1.0)
-        .cell_percent(pt.improvement_vs_msprime);
+        .cell(row.text("a"))
+        .cell(row.text("inv_r"))
+        .cell(row.number("flat_stretch"), 3)
+        .cell(fixed(row.number("ms_stretch"), 3) + " (m=" + row.text("ms_m") +
+              ", th=" + fixed(row.number("ms_theta"), 3) + ")")
+        .cell(fixed(row.number("part_stretch"), 3) + " (m=" +
+              row.text("part_m") + ")")
+        .cell_percent(row.number("imp_vs_flat"))
+        .cell_percent(row.number("imp_vs_part"))
+        .cell_percent(row.number("imp_vs_literal"));
   }
   std::fputs(table.str().c_str(), stdout);
   std::printf(

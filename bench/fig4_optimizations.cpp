@@ -3,139 +3,119 @@
 // grid: three traces x p in {32, 128} x lambda grid x 1/r in
 // {20, 40, 80, 160}.
 //
-// For each configuration, four cluster runs: the full M/S scheduler, and
-// the three ablations — M/S-ns (no demand sampling, w = 0.5), M/S-nr (no
-// master reservation) and M/S-1 (no static/dynamic separation: every node
-// a master). Reported numbers are the paper's metric,
-// (stretch(variant)/stretch(M/S) - 1) * 100%.
+// Each grid point runs four cluster replays on the identical trace: the
+// full M/S scheduler and the three ablations — M/S-ns (no demand sampling,
+// w = 0.5), M/S-nr (no master reservation) and M/S-1 (no static/dynamic
+// separation). Reported numbers are the paper's metric,
+// (stretch(variant)/stretch(M/S) - 1) * 100%, averaged over replications.
 //
 // Paper expectations: vs M/S-nr up to ~68% (reservation dominates at high
 // load); vs M/S-1 up to ~26%; vs M/S-ns 5-22%, average ~14%.
 //
-// WSCHED_QUICK=1 (or --quick) runs a reduced grid for CI.
-// Pass --csv <path> to additionally dump one row per (p, trace, lambda,
-// 1/r) cell for external plotting.
+// Shared harness CLI: --jobs N parallelizes grid points, --filter S runs a
+// subset (e.g. --filter trace=UCB), --out PATH writes CSV/JSON artifacts,
+// --list prints the grid. WSCHED_QUICK=1 (or --quick) shrinks the grid.
 #include <cstdio>
-#include <fstream>
 
-#include "bench/grid.hpp"
-#include "core/experiment.hpp"
-#include "util/cli.hpp"
-#include "util/csv.hpp"
+#include "harness/bench_cli.hpp"
+#include "harness/grids.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace wsched;
-  const CliArgs args(argc, argv);
-  const bool quick = env_flag("WSCHED_QUICK", false) ||
-                     args.get_bool("quick", false);
-  const double duration = args.get_double("duration", quick ? 4.0 : 10.0);
-  const double warmup = args.get_double("warmup", quick ? 1.0 : 2.0);
-  const std::uint64_t seed =
-      static_cast<std::uint64_t>(args.get_int("seed", 1999));
-  const int seeds = static_cast<int>(args.get_int("seeds", quick ? 1 : 3));
+  const harness::BenchCli cli(argc, argv);
+  const bool quick = cli.quick;
+  const int seeds =
+      static_cast<int>(cli.args.get_int("seeds", quick ? 1 : 3));
 
-  std::vector<int> cluster_sizes = {32, 128};
-  if (quick) cluster_sizes = {32};
-  auto inv_rs = bench::table2_inv_r();
-  if (quick) inv_rs = {40, 160};
+  harness::SweepSpec sweep;
+  sweep.base.duration_s = cli.args.get_double("duration", quick ? 4.0 : 10.0);
+  sweep.base.warmup_s = cli.args.get_double("warmup", quick ? 1.0 : 2.0);
+  sweep.base.seed =
+      static_cast<std::uint64_t>(cli.args.get_int("seed", 1999));
+  sweep.axes = {
+      harness::table2_cell_axis(quick ? std::vector<int>{32}
+                                      : std::vector<int>{32, 128},
+                                quick ? 1 : 0),
+      harness::inv_r_axis(quick ? std::vector<double>{40, 160}
+                                : harness::table2_inv_r()),
+  };
 
-  RunningStats ns_stats, nr_stats, m1_stats;
-
-  std::ofstream csv;
-  if (args.has("csv")) {
-    csv.open(args.get("csv", ""));
-    write_csv_row(csv, {"p", "trace", "lambda", "inv_r", "offered_load",
-                        "m", "stretch_ms", "imp_ns", "imp_nr", "imp_m1",
-                        "saturated"});
-  }
-
-  for (int p : cluster_sizes) {
-    std::printf("=== Figure 4, p = %d ===\n\n", p);
-    Table table({"trace", "lambda", "1/r", "load", "m", "S(M/S)",
-                 "vs M/S-ns", "vs M/S-nr", "vs M/S-1"});
-    for (const auto& grid : bench::table2_grid()) {
-      auto lambdas = p == 32 ? grid.lambdas_p32 : grid.lambdas_p128;
-      if (quick) lambdas.resize(1);
-      for (double lambda : lambdas) {
-        for (double inv_r : inv_rs) {
-          core::ExperimentSpec spec;
-          spec.profile = grid.profile;
-          spec.p = p;
-          spec.lambda = lambda;
-          spec.r = 1.0 / inv_r;
-          spec.duration_s = duration;
-          spec.warmup_s = warmup;
-
-          // Average the improvement ratios over several replications:
-          // single-run ratios at these horizons carry a few percent of
-          // sampling noise, comparable to the M/S-ns signal itself.
-          RunningStats rep_ns, rep_nr, rep_m1, rep_stretch;
-          int m_used = 0;
-          for (int rep = 0; rep < seeds; ++rep) {
-            spec.seed = seed + static_cast<std::uint64_t>(rep) * 7919;
-            spec.m = 0;
-            spec.kind = core::SchedulerKind::kMs;
-            const auto ms = core::run_experiment(spec);
-            m_used = ms.m_used;
-            spec.m = ms.m_used;  // same split; only the ablation differs
-            spec.kind = core::SchedulerKind::kMsNs;
-            const auto ns = core::run_experiment(spec);
-            spec.kind = core::SchedulerKind::kMsNr;
-            const auto nr = core::run_experiment(spec);
-            spec.kind = core::SchedulerKind::kMs1;
-            const auto m1 = core::run_experiment(spec);
-            rep_ns.add(core::improvement(ms, ns));
-            rep_nr.add(core::improvement(ms, nr));
-            rep_m1.add(core::improvement(ms, m1));
-            rep_stretch.add(ms.run.metrics.stretch);
-          }
-          const double imp_ns = rep_ns.mean();
-          const double imp_nr = rep_nr.mean();
-          const double imp_m1 = rep_m1.mean();
-          // Saturated combinations (offered load beyond capacity) are
-          // printed but excluded from the summary: in steady-state
-          // overload every discipline diverges and the ratios measure
-          // only drain order. The paper's Figure 4 sweeps the stable
-          // region (its x-axis stops near 1/r = 80).
-          const double offered =
-              core::analytic_workload(spec).offered_load() / p;
-          const bool saturated = offered > 1.0;
-          if (!saturated) {
-            ns_stats.add(imp_ns);
-            nr_stats.add(imp_nr);
-            m1_stats.add(imp_m1);
-          }
-
-          table.row()
-              .cell(grid.profile.name)
-              .cell(lambda, 0)
-              .cell(inv_r, 0)
-              .cell(percent(offered, 0) + (saturated ? " *" : ""))
-              .cell(static_cast<long long>(m_used))
-              .cell(rep_stretch.mean(), 2)
-              .cell_percent(imp_ns)
-              .cell_percent(imp_nr)
-              .cell_percent(imp_m1);
-          if (csv.is_open()) {
-            write_csv_row(csv,
-                          {std::to_string(p), grid.profile.name,
-                           fixed(lambda, 0), fixed(inv_r, 0),
-                           fixed(offered, 4), std::to_string(m_used),
-                           fixed(rep_stretch.mean(), 4), fixed(imp_ns, 4),
-                           fixed(imp_nr, 4), fixed(imp_m1, 4),
-                           saturated ? "1" : "0"});
-          }
-          std::fflush(stdout);
-        }
-      }
+  const auto eval = [seeds](const harness::GridPoint& point) {
+    // Average the improvement ratios over several replications:
+    // single-run ratios at these horizons carry a few percent of sampling
+    // noise, comparable to the M/S-ns signal itself.
+    RunningStats rep_ns, rep_nr, rep_m1, rep_stretch;
+    core::ExperimentSpec spec = point.spec;
+    int m_used = 0;
+    for (int rep = 0; rep < seeds; ++rep) {
+      spec.seed = point.spec.seed + static_cast<std::uint64_t>(rep) * 7919;
+      spec.m = 0;
+      spec.kind = core::SchedulerKind::kMs;
+      const auto ms = core::run_experiment(spec);
+      m_used = ms.m_used;
+      spec.m = ms.m_used;  // same split; only the ablation differs
+      spec.kind = core::SchedulerKind::kMsNs;
+      const auto ns = core::run_experiment(spec);
+      spec.kind = core::SchedulerKind::kMsNr;
+      const auto nr = core::run_experiment(spec);
+      spec.kind = core::SchedulerKind::kMs1;
+      const auto m1 = core::run_experiment(spec);
+      rep_ns.add(core::improvement(ms, ns));
+      rep_nr.add(core::improvement(ms, nr));
+      rep_m1.add(core::improvement(ms, m1));
+      rep_stretch.add(ms.run.metrics.stretch);
     }
-    std::fputs(table.str().c_str(), stdout);
-    std::printf("\n");
-  }
+    const double offered =
+        core::analytic_workload(point.spec).offered_load() / point.spec.p;
+    harness::ResultRow row;
+    row.set("offered_load", offered)
+        .set("m", m_used)
+        .set("stretch_ms", rep_stretch.mean())
+        .set("imp_ns", rep_ns.mean())
+        .set("imp_nr", rep_nr.mean())
+        .set("imp_m1", rep_m1.mean())
+        // Saturated combinations (offered load beyond capacity) are
+        // printed but excluded from the summary: in steady-state overload
+        // every discipline diverges and the ratios measure only drain
+        // order. The paper's Figure 4 sweeps the stable region.
+        .set_bool("saturated", offered > 1.0);
+    return row;
+  };
 
-  std::printf("Summary across the grid:\n");
+  const auto run = harness::run_bench(sweep, cli, eval);
+  if (!run) return 0;
+
+  std::printf("Figure 4: improvement of M/S over its ablations "
+              "(%d replication%s per point)\n\n",
+              seeds, seeds == 1 ? "" : "s");
+  Table table({"p", "trace", "lambda", "1/r", "load", "m", "S(M/S)",
+               "vs M/S-ns", "vs M/S-nr", "vs M/S-1"});
+  RunningStats ns_stats, nr_stats, m1_stats;
+  for (const harness::ResultRow& row : run->rows) {
+    const bool saturated = row.number("saturated") != 0.0;
+    if (!saturated) {
+      ns_stats.add(row.number("imp_ns"));
+      nr_stats.add(row.number("imp_nr"));
+      m1_stats.add(row.number("imp_m1"));
+    }
+    table.row()
+        .cell(row.text("p"))
+        .cell(row.text("trace"))
+        .cell(row.text("lambda"))
+        .cell(row.text("inv_r"))
+        .cell(percent(row.number("offered_load"), 0) +
+              (saturated ? " *" : ""))
+        .cell(row.text("m"))
+        .cell(row.number("stretch_ms"), 2)
+        .cell_percent(row.number("imp_ns"))
+        .cell_percent(row.number("imp_nr"))
+        .cell_percent(row.number("imp_m1"));
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  std::printf("\nSummary across the grid:\n");
   std::printf("  vs M/S-ns (stable cells): avg %s, max %s   (paper: 5%%..22%%, avg ~14%%)\n",
               percent(ns_stats.mean()).c_str(),
               percent(ns_stats.max()).c_str());

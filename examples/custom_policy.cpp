@@ -11,14 +11,16 @@
 //                   loaded one (Mitzenmacher's power of two choices, which
 //                   postdates the paper but is the canonical fix for
 //                   stale-information herding).
+//
+// The race is a harness sweep: scenario axis x policy axis, the policy axis
+// a comparison axis (reseed=false) so every policy replays the identical
+// trace. Custom dispatchers ride ExperimentSpec::dispatcher_factory.
+// Shared CLI: --jobs/--filter/--out/--list (e.g. --filter PowerOfTwo).
 #include <cstdio>
 #include <memory>
 
-#include "core/cluster.hpp"
-#include "core/experiment.hpp"
 #include "core/rsrc.hpp"
-#include "trace/generator.hpp"
-#include "trace/profile.hpp"
+#include "harness/bench_cli.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -57,65 +59,100 @@ class PowerOfTwoDispatcher final : public core::Dispatcher {
   std::string name() const override { return "PowerOfTwo"; }
 };
 
-double run_policy(std::unique_ptr<core::Dispatcher> dispatcher, int m,
-                  const trace::Trace& trace) {
-  core::ClusterConfig config;
-  config.p = 16;
-  config.m = m;
-  config.seed = 7;
-  config.warmup = 2 * kSecond;
-  config.reservation.initial_r = 1.0 / 40.0;
-  config.reservation.initial_a = 0.41;
-  config.initial_dynamic_demand_s = 40.0 / 1200.0;
-  core::ClusterSim cluster(config, std::move(dispatcher));
-  return cluster.run(trace).metrics.stretch;
+harness::Axis scenario_axis() {
+  harness::Axis axis{"scenario", {}, true};
+  // Moderate, smooth load: with homogeneous nodes and iid demands, dumb
+  // round-robin is a formidable baseline — worth knowing before shipping a
+  // clever dispatcher.
+  axis.values.push_back({"smooth",
+                         [](core::ExperimentSpec& s) {
+                           s.profile = trace::ksu_profile();
+                           s.lambda = 600;
+                           s.r = 1.0 / 40.0;
+                           s.bursty = false;
+                         },
+                         {}});
+  // Hot, bursty, disk-heavy load: class separation and load awareness now
+  // earn their keep; blind spreading mixes file fetches into CGI queues.
+  axis.values.push_back({"bursty",
+                         [](core::ExperimentSpec& s) {
+                           s.profile = trace::adl_profile();
+                           s.lambda = 500;
+                           s.r = 1.0 / 80.0;
+                           s.bursty = true;
+                         },
+                         {}});
+  return axis;
+}
+
+harness::Axis policy_axis() {
+  harness::Axis axis{"policy", {}, false};
+  axis.values.push_back({"M/S", [](core::ExperimentSpec& s) {
+                           s.kind = core::SchedulerKind::kMs;
+                         },
+                         {}});
+  axis.values.push_back({"Flat", [](core::ExperimentSpec& s) {
+                           s.kind = core::SchedulerKind::kFlat;
+                         },
+                         {}});
+  axis.values.push_back({"RoundRobin",
+                         [](core::ExperimentSpec& s) {
+                           s.dispatcher_factory = [] {
+                             return std::make_unique<RoundRobinDispatcher>();
+                           };
+                         },
+                         {}});
+  axis.values.push_back({"PowerOfTwo",
+                         [](core::ExperimentSpec& s) {
+                           s.dispatcher_factory = [] {
+                             return std::make_unique<PowerOfTwoDispatcher>();
+                           };
+                         },
+                         {}});
+  return axis;
 }
 
 }  // namespace
 
-void race(const char* label, const trace::WorkloadProfile& profile,
-          double lambda, double r, bool bursty) {
-  trace::GeneratorConfig gen;
-  gen.profile = profile;
-  gen.lambda = lambda;
-  gen.duration_s = 10.0;
-  gen.r = r;
-  gen.seed = 7;
-  gen.bursty = bursty;
-  const trace::Trace trace = trace::generate(gen);
-  std::printf("%s: %s profile, lambda=%.0f, 1/r=%.0f%s, 16 nodes\n", label,
-              profile.name.c_str(), lambda, 1.0 / r,
-              bursty ? ", bursty arrivals" : "");
+int main(int argc, char** argv) {
+  const harness::BenchCli cli(argc, argv);
 
-  // Size the master pool once with Theorem 1 so M/S gets its fair setup.
-  core::ExperimentSpec spec;
-  spec.profile = gen.profile;
-  spec.p = 16;
-  spec.lambda = gen.lambda;
-  spec.r = gen.r;
-  const int m = core::masters_from_theorem(core::analytic_workload(spec));
+  harness::SweepSpec sweep;
+  sweep.base.p = 16;
+  sweep.base.duration_s = 10.0;
+  sweep.base.warmup_s = 2.0;
+  sweep.base.seed = 7;
+  sweep.axes = {scenario_axis(), policy_axis()};
 
-  wsched::Table table({"policy", "mean stretch"});
-  table.row().cell("M/S (paper)").cell(
-      run_policy(core::make_ms(), m, trace), 3);
-  table.row().cell("Flat (random)").cell(
-      run_policy(core::make_flat(), m, trace), 3);
-  table.row().cell("RoundRobin").cell(
-      run_policy(std::make_unique<RoundRobinDispatcher>(), m, trace), 3);
-  table.row().cell("PowerOfTwo").cell(
-      run_policy(std::make_unique<PowerOfTwoDispatcher>(), m, trace), 3);
-  std::fputs(table.str().c_str(), stdout);
-  std::printf("\n");
-}
+  const auto run = harness::run_bench(sweep, cli, harness::experiment_row);
+  if (!run) return 0;
 
-int main() {
-  // Moderate, smooth load: with homogeneous nodes and iid demands, dumb
-  // round-robin is a formidable baseline — worth knowing before shipping a
-  // clever dispatcher.
-  race("Scenario 1", trace::ksu_profile(), 600, 1.0 / 40.0, false);
-  // Hot, bursty, disk-heavy load: class separation and load awareness now
-  // earn their keep; blind spreading mixes file fetches into CGI queues.
-  race("Scenario 2", trace::adl_profile(), 500, 1.0 / 80.0, true);
+  // One table per scenario (the policy axis varies fastest).
+  std::string current;
+  Table table({"policy", "mean stretch"});
+  const auto flush = [&] {
+    if (!current.empty()) {
+      std::fputs(table.str().c_str(), stdout);
+      std::printf("\n");
+      table = Table({"policy", "mean stretch"});
+    }
+  };
+  for (std::size_t i = 0; i < run->rows.size(); ++i) {
+    const harness::ResultRow& row = run->rows[i];
+    const std::string scenario = row.text("scenario");
+    if (scenario != current) {
+      flush();
+      current = scenario;
+      const core::ExperimentSpec& spec = run->points[i].spec;
+      std::printf("Scenario \"%s\": %s profile, lambda=%.0f, 1/r=%.0f%s, "
+                  "%d nodes (m=%s)\n",
+                  scenario.c_str(), spec.profile.name.c_str(), spec.lambda,
+                  1.0 / spec.r, spec.bursty ? ", bursty arrivals" : "",
+                  spec.p, row.text("m").c_str());
+    }
+    table.row().cell(row.text("scheduler")).cell(row.number("stretch"), 3);
+  }
+  flush();
   std::printf(
       "Lower is better; 1.0 means every request ran as if alone.\n");
   return 0;

@@ -1,40 +1,50 @@
 // Quickstart: size a master/slave Web cluster with the analytic model, then
 // replay a synthetic CGI-heavy workload through the cluster simulator under
 // the paper's M/S scheduler and the flat baseline, and compare stretch
-// factors.
+// factors. The comparison runs as a two-point harness sweep (scheduler
+// comparison axis), so the shared bench CLI works here too:
+//
+//   ./build/examples/quickstart [--jobs N] [--out PATH] [--list]
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 #include <cstdio>
 
-#include "core/experiment.hpp"
+#include "harness/bench_cli.hpp"
 #include "model/optimize.hpp"
-#include "trace/profile.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsched;
+  const harness::BenchCli cli(argc, argv);
 
   // 1. Describe the workload analytically: 16 nodes, 600 req/s total,
   //    29% CGI (the KSU library profile), CGI ~40x as expensive as a file
   //    fetch on a node that serves 1200 static req/s.
-  core::ExperimentSpec spec;
-  spec.profile = trace::ksu_profile();
-  spec.p = 16;
-  spec.lambda = 600;
-  spec.r = 1.0 / 40.0;
-  spec.duration_s = 8.0;
-  spec.warmup_s = 2.0;
-  spec.seed = 42;
+  harness::SweepSpec sweep;
+  sweep.base.profile = trace::ksu_profile();
+  sweep.base.p = 16;
+  sweep.base.lambda = 600;
+  sweep.base.r = 1.0 / 40.0;
+  sweep.base.duration_s = 8.0;
+  sweep.base.warmup_s = 2.0;
+  sweep.base.seed = 42;
 
-  const model::Workload analytic = core::analytic_workload(spec);
+  // 2. Replay through the OS-level cluster simulator: M/S vs flat, on the
+  //    identical trace (the scheduler axis never reseeds).
+  sweep.axes = {harness::scheduler_axis(
+      {core::SchedulerKind::kMs, core::SchedulerKind::kFlat})};
+  const auto run = harness::run_bench(sweep, cli, harness::experiment_row);
+  if (!run) return 0;
+
+  const model::Workload analytic = core::analytic_workload(sweep.base);
   std::printf("workload: p=%d lambda=%.0f a=%.3f r=1/%.0f rho=%.2f\n",
               analytic.p, analytic.lambda, analytic.a, 1.0 / analytic.r,
               analytic.rho());
   std::printf("offered load: %.1f of %d servers\n", analytic.offered_load(),
               analytic.p);
 
-  // 2. Theorem 1: how many masters, and what fraction of CGI may they run?
+  // 3. Theorem 1: how many masters, and what fraction of CGI may they run?
   if (const auto plan = model::optimize_ms(analytic)) {
     std::printf("Theorem 1: m=%d masters, theta=%.3f, predicted SM=%.2f\n",
                 plan->m, plan->theta, plan->stretch);
@@ -43,23 +53,25 @@ int main() {
     std::printf("predicted flat stretch SF=%.2f\n", *flat);
   }
 
-  // 3. Replay through the OS-level cluster simulator: M/S vs flat.
-  spec.kind = core::SchedulerKind::kMs;
-  const core::ExperimentResult ms = core::run_experiment(spec);
-  spec.kind = core::SchedulerKind::kFlat;
-  const core::ExperimentResult flat = core::run_experiment(spec);
-
   std::printf("\nsimulated (trace-driven, OS-level):\n");
-  std::printf("  %-6s m=%-3d stretch=%-8.2f static=%-8.2f dynamic=%.2f\n",
-              ms.scheduler.c_str(), ms.m_used, ms.run.metrics.stretch,
-              ms.run.metrics.stretch_static, ms.run.metrics.stretch_dynamic);
-  std::printf("  %-6s       stretch=%-8.2f static=%-8.2f dynamic=%.2f\n",
-              flat.scheduler.c_str(), flat.run.metrics.stretch,
-              flat.run.metrics.stretch_static,
-              flat.run.metrics.stretch_dynamic);
-  std::printf("  M/S improvement over flat: %.1f%%\n",
-              core::improvement(ms, flat) * 100.0);
-  std::printf("  reservation end state: theta'2=%.3f a_hat=%.3f r_hat=%.4f\n",
-              ms.run.theta_limit, ms.run.a_hat, ms.run.r_hat);
+  double ms_stretch = 0.0, flat_stretch = 0.0;
+  for (const harness::ResultRow& row : run->rows) {
+    const bool is_ms = row.text("scheduler") == "M/S";
+    (is_ms ? ms_stretch : flat_stretch) = row.number("stretch");
+    std::printf("  %-6s m=%-3s stretch=%-8.2f static=%-8.2f dynamic=%.2f\n",
+                row.text("scheduler").c_str(),
+                is_ms ? row.text("m").c_str() : "",
+                row.number("stretch"), row.number("stretch_static"),
+                row.number("stretch_dynamic"));
+    if (is_ms)
+      std::printf(
+          "         reservation end state: theta'2=%.3f a_hat=%.3f "
+          "r_hat=%.4f\n",
+          row.number("theta_limit"), row.number("a_hat"),
+          row.number("r_hat"));
+  }
+  if (ms_stretch > 0.0)
+    std::printf("  M/S improvement over flat: %.1f%%\n",
+                (flat_stretch / ms_stretch - 1.0) * 100.0);
   return 0;
 }

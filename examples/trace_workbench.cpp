@@ -5,43 +5,39 @@
 // service-demand distributions, and optionally saves the trace as CSV for
 // replay by other tools (or reloads and verifies a previously saved one).
 //
+// Generation runs as a harness sweep over the profile axis: `--profile all`
+// inspects every Table 1 trace in one run (in parallel under --jobs), and
+// --out writes the characteristics of each point as CSV/JSON artifacts.
+//
 // Usage:
-//   trace_workbench --profile ksu --lambda 800 --duration 20 [--bursty]
+//   trace_workbench --profile ksu|all --lambda 800 --duration 20 [--bursty]
 //                   [--save /tmp/ksu.csv] [--load /tmp/ksu.csv]
 #include <cstdio>
 
+#include "harness/bench_cli.hpp"
 #include "trace/generator.hpp"
-#include "trace/profile.hpp"
 #include "trace/trace_io.hpp"
 #include "trace/trace_stats.hpp"
-#include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) {
-  using namespace wsched;
-  const CliArgs args(argc, argv);
+namespace {
 
-  trace::Trace t;
-  if (args.has("load")) {
-    const std::string path = args.get("load", "");
-    t = trace::load_trace_file(path);
-    std::printf("Loaded %zu records from %s\n\n", t.size(), path.c_str());
-  } else {
-    trace::GeneratorConfig config;
-    config.profile = trace::profile_by_name(args.get("profile", "ksu"));
-    config.lambda = args.get_double("lambda", 800);
-    config.duration_s = args.get_double("duration", 20);
-    config.r = 1.0 / args.get_double("inv-r", 40);
-    config.mu_h = args.get_double("mu_h", 1200);
-    config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-    config.bursty = args.get_bool("bursty", false);
-    t = trace::generate(config);
-    std::printf("Generated %zu requests (%s profile, lambda=%.0f%s)\n\n",
-                t.size(), config.profile.name.c_str(), config.lambda,
-                config.bursty ? ", bursty" : "");
-  }
+using namespace wsched;
 
+trace::GeneratorConfig generator_config(const core::ExperimentSpec& spec) {
+  trace::GeneratorConfig config;
+  config.profile = spec.profile;
+  config.lambda = spec.lambda;
+  config.duration_s = spec.duration_s;
+  config.r = spec.r;
+  config.mu_h = spec.mu_h;
+  config.seed = spec.seed;
+  config.bursty = spec.bursty;
+  return config;
+}
+
+void print_trace_report(const trace::Trace& t) {
   const trace::TraceStats stats = trace::compute_stats(t);
   Table table({"metric", "value"});
   table.row().cell("requests").cell(static_cast<long long>(stats.requests));
@@ -76,11 +72,73 @@ int main(int argc, char** argv) {
   for (const auto& rec : t.records)
     if (rec.is_dynamic()) demands.add(to_seconds(rec.service_demand) * 1e3);
   std::fputs(demands.ascii(48).c_str(), stdout);
+}
 
-  if (args.has("save")) {
-    const std::string path = args.get("save", "");
-    trace::save_trace_file(path, t);
-    std::printf("\nSaved to %s\n", path.c_str());
+}  // namespace
+
+int main(int argc, char** argv) {
+  const harness::BenchCli cli(argc, argv);
+
+  if (cli.args.has("load")) {
+    const std::string path = cli.args.get("load", "");
+    const trace::Trace t = trace::load_trace_file(path);
+    std::printf("Loaded %zu records from %s\n\n", t.size(), path.c_str());
+    print_trace_report(t);
+    return 0;
+  }
+
+  const std::string which = cli.args.get("profile", "ksu");
+  const std::vector<trace::WorkloadProfile> profiles =
+      which == "all"
+          ? trace::table1_profiles()
+          : std::vector<trace::WorkloadProfile>{trace::profile_by_name(which)};
+
+  harness::SweepSpec sweep;
+  sweep.base.lambda = cli.args.get_double("lambda", 800);
+  sweep.base.duration_s = cli.args.get_double("duration", 20);
+  sweep.base.r = 1.0 / cli.args.get_double("inv-r", 40);
+  sweep.base.mu_h = cli.args.get_double("mu_h", 1200);
+  sweep.base.seed = static_cast<std::uint64_t>(cli.args.get_int("seed", 1));
+  sweep.base.bursty = cli.args.get_bool("bursty", false);
+  sweep.axes = {harness::profile_axis(profiles)};
+
+  const auto eval = [](const harness::GridPoint& point) {
+    const trace::TraceStats stats = trace::compute_stats(
+        trace::generate(generator_config(point.spec)));
+    harness::ResultRow row;
+    row.set("requests", static_cast<unsigned long long>(stats.requests))
+        .set("cgi_fraction", stats.cgi_fraction)
+        .set("arrival_rate", stats.arrival_rate)
+        .set("a_ratio", stats.a_ratio)
+        .set("mean_html_bytes", stats.mean_html_bytes)
+        .set("mean_cgi_bytes", stats.mean_cgi_bytes)
+        .set("mean_static_demand_s", stats.mean_static_demand_s)
+        .set("mean_dynamic_demand_s", stats.mean_dynamic_demand_s)
+        .set("r_ratio", stats.r_ratio)
+        .set("dynamic_demand_cv", stats.dynamic_demand_cv);
+    return row;
+  };
+
+  const auto run = harness::run_bench(sweep, cli, eval);
+  if (!run) return 0;
+
+  for (const harness::GridPoint& point : run->points) {
+    // Regenerate for the detailed sketches — same spec, same trace.
+    const trace::Trace t = trace::generate(generator_config(point.spec));
+    std::printf("Generated %zu requests (%s profile, lambda=%.0f%s)\n\n",
+                t.size(), point.spec.profile.name.c_str(), point.spec.lambda,
+                point.spec.bursty ? ", bursty" : "");
+    print_trace_report(t);
+    std::printf("\n");
+    if (cli.args.has("save")) {
+      const std::string path = cli.args.get("save", "");
+      const std::string target =
+          run->points.size() == 1
+              ? path
+              : path + "." + point.spec.profile.name;
+      trace::save_trace_file(target, t);
+      std::printf("Saved to %s\n\n", target.c_str());
+    }
   }
   return 0;
 }

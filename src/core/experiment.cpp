@@ -12,8 +12,12 @@ model::Workload analytic_workload(const ExperimentSpec& spec) {
   w.p = spec.p;
   w.lambda = spec.lambda;
   w.mu_h = spec.mu_h;
-  const double frac = spec.profile.cgi_fraction;
-  w.a = frac / (1.0 - frac);
+  if (spec.a > 0.0) {
+    w.a = spec.a;
+  } else {
+    const double frac = spec.profile.cgi_fraction;
+    w.a = frac / (1.0 - frac);
+  }
   w.r = spec.r;
   return w;
 }
@@ -55,6 +59,11 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   config.fault = spec.fault;
   if (spec.metrics_tail_start_s > 0.0)
     config.metrics_tail_start = from_seconds(spec.metrics_tail_start_s);
+  config.node_params = spec.node_params;
+  config.use_dispatch_feedback = spec.use_dispatch_feedback;
+  config.cgi_cache_entries = spec.cgi_cache_entries;
+  config.cgi_cache_ttl = from_seconds(spec.cgi_cache_ttl_s);
+  config.cache_hit_mu = spec.mu_h;
 
   int m = spec.m;
   if (spec.kind == SchedulerKind::kFlat || spec.kind == SchedulerKind::kMs1) {
@@ -82,38 +91,51 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   gen.mu_h = spec.mu_h;
   gen.r = spec.r;
   gen.seed = spec.seed;
+  gen.bursty = spec.bursty;
+  gen.cgi_distinct_urls = spec.cgi_distinct_urls;
+  gen.cgi_zipf_s = spec.cgi_zipf_s;
   const trace::Trace trace = trace::generate(gen);
 
+  MsOptions ms_options;
+  ms_options.rsrc_tolerance = spec.rsrc_tolerance;
+  ms_options.binary_admission = spec.binary_admission;
+  ms_options.speed_aware = spec.speed_aware;
+
   std::unique_ptr<Dispatcher> dispatcher;
-  switch (spec.kind) {
-    case SchedulerKind::kFlat:
-      dispatcher = make_flat();
-      break;
-    case SchedulerKind::kMs:
-      dispatcher = make_ms({.rsrc_tolerance = spec.rsrc_tolerance});
-      break;
-    case SchedulerKind::kMsNs:
-      dispatcher = make_ms(
-          {.sample_demand = false, .rsrc_tolerance = spec.rsrc_tolerance});
-      break;
-    case SchedulerKind::kMsNr:
-      dispatcher =
-          make_ms({.reserve = false, .rsrc_tolerance = spec.rsrc_tolerance});
-      break;
-    case SchedulerKind::kMs1:
-      dispatcher = make_ms(
-          {.all_masters = true, .rsrc_tolerance = spec.rsrc_tolerance});
-      break;
-    case SchedulerKind::kMsPrime:
-      dispatcher = make_msprime(std::max(1, k));
-      break;
+  if (spec.dispatcher_factory) {
+    dispatcher = spec.dispatcher_factory();
+  } else {
+    switch (spec.kind) {
+      case SchedulerKind::kFlat:
+        dispatcher = make_flat();
+        break;
+      case SchedulerKind::kMs:
+        dispatcher = make_ms(ms_options);
+        break;
+      case SchedulerKind::kMsNs:
+        ms_options.sample_demand = false;
+        dispatcher = make_ms(ms_options);
+        break;
+      case SchedulerKind::kMsNr:
+        ms_options.reserve = false;
+        dispatcher = make_ms(ms_options);
+        break;
+      case SchedulerKind::kMs1:
+        ms_options.all_masters = true;
+        dispatcher = make_ms(ms_options);
+        break;
+      case SchedulerKind::kMsPrime:
+        dispatcher = make_msprime(std::max(1, k));
+        break;
+    }
   }
-  ClusterSim cluster(config, std::move(dispatcher));
   ExperimentResult result;
+  result.scheduler =
+      spec.dispatcher_factory ? dispatcher->name() : to_string(spec.kind);
+  ClusterSim cluster(config, std::move(dispatcher));
   result.run = cluster.run(trace);
   result.m_used = config.m;
   result.k_used = k;
-  result.scheduler = to_string(spec.kind);
   return result;
 }
 

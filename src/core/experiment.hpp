@@ -3,8 +3,12 @@
 // Theorem 1, run one scheduler variant, and report the stretch factor.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/cluster.hpp"
 #include "core/policy.hpp"
@@ -40,6 +44,29 @@ struct ExperimentSpec {
   /// Tail-window start (seconds) for MetricsSummary::stretch_tail;
   /// <= 0 disables. Used to measure post-failover recovery.
   double metrics_tail_start_s = 0.0;
+  /// Arrival-mix ratio a = lambda_c/lambda_h for the *analytic* model;
+  /// <= 0 derives it from profile.cgi_fraction (the usual case).
+  double a = 0.0;
+  /// MMPP-bursty arrivals in the generated trace.
+  bool bursty = false;
+  /// Distinct dynamic content items and their Zipf skew (passed to the
+  /// trace generator; defaults match trace::GeneratorConfig).
+  std::uint64_t cgi_distinct_urls = 5000;
+  double cgi_zipf_s = 0.9;
+  /// Per-master CGI result cache (Swala extension); 0 entries disables.
+  std::size_t cgi_cache_entries = 0;
+  double cgi_cache_ttl_s = 30.0;
+  /// Per-node speed factors (heterogeneous extension); empty = homogeneous.
+  std::vector<sim::NodeParams> node_params;
+  /// Mechanism ablations (DESIGN.md section 5): per-receiver dispatch
+  /// feedback and the tapered-vs-binary reservation admission gate.
+  bool use_dispatch_feedback = true;
+  bool binary_admission = false;
+  /// Heterogeneous extension: RSRC weighted by per-node speeds.
+  bool speed_aware = false;
+  /// Custom dispatcher override (the extension point examples use): when
+  /// set, `kind` is ignored and the factory's dispatcher routes the run.
+  std::function<std::unique_ptr<Dispatcher>()> dispatcher_factory;
 };
 
 /// The analytic workload corresponding to a spec (for Theorem 1 sizing and

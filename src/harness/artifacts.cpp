@@ -1,0 +1,180 @@
+#include "harness/artifacts.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace wsched::harness {
+
+std::string format_number(double value) {
+  if (std::isfinite(value) && value == std::llround(value) &&
+      std::abs(value) < 1e15) {
+    return std::to_string(std::llround(value));
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  return buffer;
+}
+
+ResultRow& ResultRow::set_field(std::string name, std::string text,
+                                bool numeric) {
+  for (Field& field : fields_) {
+    if (field.name == name) {
+      field.text = std::move(text);
+      field.numeric = numeric;
+      return *this;
+    }
+  }
+  fields_.push_back({std::move(name), std::move(text), numeric});
+  return *this;
+}
+
+ResultRow& ResultRow::set(std::string name, std::string value) {
+  return set_field(std::move(name), std::move(value), false);
+}
+
+ResultRow& ResultRow::set(std::string name, const char* value) {
+  return set_field(std::move(name), std::string(value), false);
+}
+
+ResultRow& ResultRow::set(std::string name, double value) {
+  return set_field(std::move(name), format_number(value), true);
+}
+
+ResultRow& ResultRow::set(std::string name, long long value) {
+  return set_field(std::move(name), std::to_string(value), true);
+}
+
+ResultRow& ResultRow::set(std::string name, unsigned long long value) {
+  return set_field(std::move(name), std::to_string(value), true);
+}
+
+ResultRow& ResultRow::set(std::string name, int value) {
+  return set_field(std::move(name), std::to_string(value), true);
+}
+
+ResultRow& ResultRow::set_bool(std::string name, bool value) {
+  return set_field(std::move(name), value ? "1" : "0", true);
+}
+
+ResultRow& ResultRow::merge(const ResultRow& other) {
+  for (const Field& field : other.fields_)
+    set_field(field.name, field.text, field.numeric);
+  return *this;
+}
+
+bool ResultRow::has(const std::string& name) const {
+  for (const Field& field : fields_)
+    if (field.name == name) return true;
+  return false;
+}
+
+const std::string& ResultRow::text(const std::string& name) const {
+  for (const Field& field : fields_)
+    if (field.name == name) return field.text;
+  throw std::out_of_range("ResultRow: no field named '" + name + "'");
+}
+
+double ResultRow::number(const std::string& name) const {
+  return std::stod(text(name));
+}
+
+namespace {
+
+void check_schema(const std::vector<ResultRow>& rows) {
+  if (rows.empty()) return;
+  const auto& head = rows.front().fields();
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const auto& fields = rows[r].fields();
+    bool same = fields.size() == head.size();
+    for (std::size_t i = 0; same && i < fields.size(); ++i)
+      same = fields[i].name == head[i].name;
+    if (!same)
+      throw std::invalid_argument(
+          "sweep rows disagree on schema at row " + std::to_string(r) +
+          "; every evaluation must emit the same fields in the same order");
+  }
+}
+
+}  // namespace
+
+void write_csv(std::ostream& out, const std::vector<ResultRow>& rows) {
+  check_schema(rows);
+  if (rows.empty()) return;
+  std::vector<std::string> header;
+  header.reserve(rows.front().fields().size());
+  for (const Field& field : rows.front().fields()) header.push_back(field.name);
+  write_csv_row(out, header);
+  std::vector<std::string> cells(header.size());
+  for (const ResultRow& row : rows) {
+    for (std::size_t i = 0; i < row.fields().size(); ++i)
+      cells[i] = row.fields()[i].text;
+    write_csv_row(out, cells);
+  }
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", ch);
+          out += buffer;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  return out;
+}
+
+void write_json(std::ostream& out, const std::vector<ResultRow>& rows) {
+  check_schema(rows);
+  out << "[";
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    out << (r == 0 ? "\n" : ",\n") << "{";
+    const auto& fields = rows[r].fields();
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i) out << ",";
+      out << '"' << json_escape(fields[i].name) << "\":";
+      const std::string& text = fields[i].text;
+      if (!fields[i].numeric) {
+        out << '"' << json_escape(text) << '"';
+      } else if (text == "inf" || text == "-inf" || text == "nan" ||
+                 text == "-nan") {
+        // Non-finite values are not valid JSON numbers.
+        out << "null";
+      } else {
+        out << text;
+      }
+    }
+    out << "}";
+  }
+  out << "\n]\n";
+}
+
+std::string csv_string(const std::vector<ResultRow>& rows) {
+  std::ostringstream out;
+  write_csv(out, rows);
+  return out.str();
+}
+
+std::string json_string(const std::vector<ResultRow>& rows) {
+  std::ostringstream out;
+  write_json(out, rows);
+  return out.str();
+}
+
+}  // namespace wsched::harness

@@ -1,0 +1,48 @@
+#include "harness/bench_cli.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace wsched::harness {
+
+BenchCli::BenchCli(int argc, const char* const* argv)
+    : args(argc, argv),
+      out(args.get("out", "")),
+      list(args.get_bool("list", false)),
+      quick(env_flag("WSCHED_QUICK", false) || args.get_bool("quick", false)) {
+  options.jobs = static_cast<int>(args.get_int("jobs", 0));
+  options.filters = args.get_all("filter");
+}
+
+std::string artifact_stem(const SweepSpec& spec, const BenchCli& cli) {
+  if (cli.out.empty()) return "";
+  return spec.name.empty() ? cli.out : cli.out + "-" + spec.name;
+}
+
+std::optional<SweepRun> run_bench(const SweepSpec& spec, const BenchCli& cli,
+                                  const EvalFn& eval) {
+  if (cli.list) {
+    for (const GridPoint& point : expand(spec))
+      if (matches_filters(point.id, cli.options.filters))
+        std::printf("%s\n", point.id.c_str());
+    return std::nullopt;
+  }
+
+  SweepRun run = run_sweep(spec, cli.options, eval);
+
+  const std::string stem = artifact_stem(spec, cli);
+  if (!stem.empty()) {
+    std::ofstream csv(stem + ".csv");
+    if (!csv) throw std::runtime_error("cannot open " + stem + ".csv");
+    write_csv(csv, run.rows);
+    std::ofstream json(stem + ".json");
+    if (!json) throw std::runtime_error("cannot open " + stem + ".json");
+    write_json(json, run.rows);
+    std::printf("wrote %s.csv and %s.json (%zu rows)\n", stem.c_str(),
+                stem.c_str(), run.rows.size());
+  }
+  return run;
+}
+
+}  // namespace wsched::harness

@@ -1,0 +1,43 @@
+// The shared command line of every bench/example binary.
+//
+//   --jobs N      worker threads for point evaluation (0 = all cores;
+//                 default 0 — sweeps are embarrassingly parallel and
+//                 artifacts are order-independent by construction)
+//   --filter S    run only points whose id contains S (repeatable, OR)
+//   --out PATH    write PATH.csv and PATH.json artifacts (a sweep with a
+//                 name writes PATH-<name>.csv / PATH-<name>.json)
+//   --list        print the (filtered) point ids and exit
+//   --quick       CI-sized runs (also via WSCHED_QUICK=1)
+//
+// Bench-specific flags stay available through `args`.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "harness/sweep.hpp"
+#include "util/cli.hpp"
+
+namespace wsched::harness {
+
+struct BenchCli {
+  BenchCli(int argc, const char* const* argv);
+
+  CliArgs args;
+  SweepOptions options;
+  std::string out;
+  bool list = false;
+  bool quick = false;
+};
+
+/// Artifact path stem for one sweep under --out (empty when --out unset).
+std::string artifact_stem(const SweepSpec& spec, const BenchCli& cli);
+
+/// The shared bench protocol: under --list prints the filtered point ids
+/// and returns nullopt (the caller should exit); otherwise runs the sweep
+/// with the CLI's jobs/filters, writes <out>.csv / <out>.json when --out is
+/// set, and returns the run for the bench's own table rendering.
+std::optional<SweepRun> run_bench(const SweepSpec& spec, const BenchCli& cli,
+                                  const EvalFn& eval);
+
+}  // namespace wsched::harness

@@ -1,0 +1,46 @@
+#include "harness/grids.hpp"
+
+#include "util/table.hpp"
+
+namespace wsched::harness {
+
+std::vector<TraceGrid> table2_grid() {
+  return {
+      {trace::ucb_profile(), {1000, 2000}, {4000, 8000}},
+      {trace::ksu_profile(), {500, 1000}, {2000, 4000}},
+      {trace::adl_profile(), {500, 1000}, {2000, 4000}},
+  };
+}
+
+std::vector<double> table2_inv_r() { return {20, 40, 80, 160}; }
+
+Axis table2_cell_axis(const std::vector<int>& ps, int lambdas_per_cell) {
+  Axis axis{"", {}, true};
+  for (const int p : ps) {
+    for (const TraceGrid& grid : table2_grid()) {
+      auto lambdas = p == 32 ? grid.lambdas_p32 : grid.lambdas_p128;
+      if (lambdas_per_cell > 0 &&
+          lambdas.size() > static_cast<std::size_t>(lambdas_per_cell))
+        lambdas.resize(static_cast<std::size_t>(lambdas_per_cell));
+      for (const double lambda : lambdas) {
+        AxisValue value;
+        value.label = "p=" + std::to_string(p) +
+                      "/trace=" + grid.profile.name +
+                      "/lambda=" + fixed(lambda, 0);
+        value.coords = {{"p", std::to_string(p)},
+                        {"trace", grid.profile.name},
+                        {"lambda", fixed(lambda, 0)}};
+        const trace::WorkloadProfile profile = grid.profile;
+        value.apply = [profile, p, lambda](core::ExperimentSpec& s) {
+          s.profile = profile;
+          s.p = p;
+          s.lambda = lambda;
+        };
+        axis.values.push_back(std::move(value));
+      }
+    }
+  }
+  return axis;
+}
+
+}  // namespace wsched::harness

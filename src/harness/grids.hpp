@@ -1,0 +1,36 @@
+// The Table 2 experiment grid shared by the fig4/fig5/table2 benches, the
+// tests and the examples.
+//
+// "Arrival rates (lambda) are scaled in replaying to reflect various
+// workloads... the arrival rates we have examined for each trace are
+// listed in Table 2" — reconstructed from Table 2 and the Figure 5
+// caption's 12 bar groups.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hpp"
+#include "trace/profile.hpp"
+
+namespace wsched::harness {
+
+struct TraceGrid {
+  trace::WorkloadProfile profile;
+  std::vector<double> lambdas_p32;
+  std::vector<double> lambdas_p128;
+};
+
+std::vector<TraceGrid> table2_grid();
+
+/// "The average ratio of CGI processing rate to static request rate, r, is
+/// chosen to be 1/20, 1/40, 1/80, 1/160".
+std::vector<double> table2_inv_r();
+
+/// The Table 2 simulation cells — every (p, trace, lambda) with the lambda
+/// grid matched to the cluster size — as one sweep axis (ids like
+/// "p=32/trace=UCB/lambda=1000", coordinate columns p/trace/lambda).
+/// `lambdas_per_cell` > 0 truncates each trace's lambda list (quick runs).
+Axis table2_cell_axis(const std::vector<int>& ps, int lambdas_per_cell = 0);
+
+}  // namespace wsched::harness

@@ -14,13 +14,16 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
     }
     arg.erase(0, 2);
     if (arg.empty()) throw std::invalid_argument("bare -- is not a flag");
+    // Only the first '=' separates name and value, so values may themselves
+    // contain '=' (e.g. --filter=trace=UCB).
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
-      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      if (eq == 0) throw std::invalid_argument("flag with empty name: --" + arg);
+      flags_[arg.substr(0, eq)].push_back(arg.substr(eq + 1));
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      flags_[arg] = argv[++i];
+      flags_[arg].push_back(argv[++i]);
     } else {
-      flags_[arg] = "1";
+      flags_[arg].push_back("1");
     }
   }
 }
@@ -32,25 +35,30 @@ bool CliArgs::has(const std::string& name) const {
 std::string CliArgs::get(const std::string& name,
                          const std::string& fallback) const {
   const auto it = flags_.find(name);
-  return it == flags_.end() ? fallback : it->second;
+  return it == flags_.end() ? fallback : it->second.back();
+}
+
+std::vector<std::string> CliArgs::get_all(const std::string& name) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? std::vector<std::string>{} : it->second;
 }
 
 long long CliArgs::get_int(const std::string& name, long long fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
-  return std::stoll(it->second);
+  return std::stoll(it->second.back());
 }
 
 double CliArgs::get_double(const std::string& name, double fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
-  return std::stod(it->second);
+  return std::stod(it->second.back());
 }
 
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
-  const std::string& v = it->second;
+  const std::string& v = it->second.back();
   return v == "1" || v == "true" || v == "yes" || v == "on";
 }
 

@@ -1,8 +1,12 @@
 // Tiny command-line flag parser used by the bench/example binaries.
 //
 // Flags take the form --name=value or --name value; bare --name sets a
-// boolean. Unknown flags raise an error so typos in experiment scripts are
-// caught rather than silently ignored.
+// boolean. A flag may repeat (--filter a --filter b); scalar getters return
+// the last occurrence, get_all() returns every value in order — this is
+// what lets sweep filters compose. Only the first '=' splits name from
+// value, so --filter=trace=UCB keeps "trace=UCB" intact. Unknown flags
+// raise an error so typos in experiment scripts are caught rather than
+// silently ignored.
 #pragma once
 
 #include <map>
@@ -23,6 +27,10 @@ class CliArgs {
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;
 
+  /// Every value a repeated flag was given, in command-line order; empty
+  /// when the flag is absent.
+  std::vector<std::string> get_all(const std::string& name) const;
+
   /// Positional (non-flag) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }
 
@@ -30,7 +38,7 @@ class CliArgs {
   std::vector<std::string> flag_names() const;
 
  private:
-  std::map<std::string, std::string> flags_;
+  std::map<std::string, std::vector<std::string>> flags_;
   std::vector<std::string> positional_;
 };
 

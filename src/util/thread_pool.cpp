@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace wsched {
 
@@ -32,6 +33,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait() {
   std::unique_lock lock(mutex_);
   done_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -45,7 +51,12 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
+    }
     {
       std::lock_guard lock(mutex_);
       --active_;

@@ -1,13 +1,15 @@
 // Fixed-size thread pool for running independent experiment configurations
-// in parallel (fig4/fig5 grids) and for the real-execution testbed support
-// machinery. Tasks are plain std::function<void()>; exceptions escaping a
-// task terminate (experiments must handle their own errors and report them
-// in results).
+// in parallel (the harness sweep runner, fig4/fig5 grids) and for the
+// real-execution testbed support machinery. Tasks are plain
+// std::function<void()>; an exception escaping a task is captured and the
+// first one is rethrown from the next wait(), so a failing grid point
+// surfaces in the submitting thread instead of terminating the process.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -28,7 +30,9 @@ class ThreadPool {
   /// concurrently from another thread (single-producer usage).
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. If any task threw,
+  /// rethrows the first captured exception (remaining tasks still ran to
+  /// completion); the pool stays usable afterwards.
   void wait();
 
   std::size_t size() const { return workers_.size(); }
@@ -43,9 +47,11 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::size_t active_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;
 };
 
-/// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+/// Runs fn(i) for i in [0, n) across the pool and waits for completion
+/// (propagating the first task exception, like wait()).
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn);
 

@@ -321,6 +321,51 @@ TEST(Cli, BoolValues) {
   EXPECT_FALSE(args.get_bool("off", true));
 }
 
+TEST(Cli, RepeatedFlagsAccumulate) {
+  const char* argv[] = {"prog", "--filter", "trace=UCB", "--filter=p=32",
+                        "--filter", "lambda=1000"};
+  CliArgs args(6, argv);
+  const auto all = args.get_all("filter");
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], "trace=UCB");
+  EXPECT_EQ(all[1], "p=32");
+  EXPECT_EQ(all[2], "lambda=1000");
+  // Scalar getters see the last occurrence.
+  EXPECT_EQ(args.get("filter", ""), "lambda=1000");
+}
+
+TEST(Cli, RepeatedScalarLastWins) {
+  const char* argv[] = {"prog", "--jobs", "2", "--jobs=8"};
+  CliArgs args(4, argv);
+  EXPECT_EQ(args.get_int("jobs", 0), 8);
+  EXPECT_EQ(args.get_all("jobs").size(), 2u);
+}
+
+TEST(Cli, EqualsInsideValuePreserved) {
+  // Only the first '=' splits: the value itself may contain '='.
+  const char* argv[] = {"prog", "--filter=scheduler=M/S"};
+  CliArgs args(2, argv);
+  EXPECT_EQ(args.get("filter", ""), "scheduler=M/S");
+}
+
+TEST(Cli, EmptyValueAfterEquals) {
+  const char* argv[] = {"prog", "--out="};
+  CliArgs args(2, argv);
+  EXPECT_TRUE(args.has("out"));
+  EXPECT_EQ(args.get("out", "fallback"), "");
+}
+
+TEST(Cli, EmptyFlagNameThrows) {
+  const char* argv[] = {"prog", "--=value"};
+  EXPECT_THROW(CliArgs(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, GetAllAbsentIsEmpty) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, argv);
+  EXPECT_TRUE(args.get_all("filter").empty());
+}
+
 TEST(Cli, BareDoubleDashThrows) {
   const char* argv[] = {"prog", "--"};
   EXPECT_THROW(CliArgs(2, argv), std::invalid_argument);
@@ -396,6 +441,42 @@ TEST(ThreadPool, WaitIsReusable) {
   pool.submit([&] { ++counter; });
   pool.wait();
   EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, TaskExceptionRethrownFromWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  for (int i = 0; i < 16; ++i) pool.submit([&] { ++counter; });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The failing task did not cancel the rest of the batch.
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPool, FirstExceptionWinsAndPoolStaysUsable) {
+  ThreadPool pool(1);  // single worker: deterministic task order
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::logic_error("second"); });
+  try {
+    pool.wait();
+    FAIL() << "wait() should rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  // The error slot was cleared: the pool accepts and runs new work.
+  std::atomic<int> counter{0};
+  pool.submit([&] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(parallel_for(pool, 8,
+                            [](std::size_t i) {
+                              if (i == 3) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
 }
 
 }  // namespace
