@@ -48,12 +48,18 @@ int main(int argc, char** argv) {
     // noise, comparable to the M/S-ns signal itself.
     RunningStats rep_ns, rep_nr, rep_m1, rep_stretch;
     core::ExperimentSpec spec = point.spec;
+    // Any --trace/--probe observability goes to the first-replication M/S
+    // run only: one representative artifact per point, and the ablation
+    // replays stay untraced (they would overwrite the same files).
+    const obs::ObsConfig point_obs = point.spec.obs;
     int m_used = 0;
     for (int rep = 0; rep < seeds; ++rep) {
       spec.seed = point.spec.seed + static_cast<std::uint64_t>(rep) * 7919;
       spec.m = 0;
       spec.kind = core::SchedulerKind::kMs;
+      spec.obs = rep == 0 ? point_obs : obs::ObsConfig{};
       const auto ms = core::run_experiment(spec);
+      spec.obs = obs::ObsConfig{};
       m_used = ms.m_used;
       spec.m = ms.m_used;  // same split; only the ablation differs
       spec.kind = core::SchedulerKind::kMsNs;

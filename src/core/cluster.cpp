@@ -2,9 +2,11 @@
 
 #include <optional>
 #include <stdexcept>
+#include <string>
 
 #include "core/cache.hpp"
 #include "fault/membership.hpp"
+#include "obs/log.hpp"
 #include "util/rng.hpp"
 
 namespace wsched::core {
@@ -26,6 +28,51 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
   if (trace.records.empty()) return RunResult{};
   sim::Engine engine;
 
+  // --- observability (all collectors optional; see obs/observer.hpp) ---
+  obs::TraceSink* tracer = config_.obs.trace;
+  obs::CounterRegistry* counters = config_.obs.counters;
+  const int cluster_pid = config_.p;  ///< pseudo-pid for cluster-level lanes
+  if (config_.max_events > 0 || config_.wall_budget_s > 0.0) {
+    engine.set_guard(config_.max_events, config_.wall_budget_s);
+    if (tracer != nullptr)
+      engine.set_guard_diagnostics(
+          [tracer] { return tracer->recent_summary(); });
+  }
+  if (tracer != nullptr) {
+    for (int i = 0; i < config_.p; ++i) {
+      tracer->name_process(i, (i < config_.m ? "master " : "slave ") +
+                                  std::to_string(i));
+      tracer->name_thread(i, obs::kLaneRequest, "requests");
+      tracer->name_thread(i, obs::kLaneCpu, "cpu");
+      tracer->name_thread(i, obs::kLaneDisk, "disk");
+      tracer->name_thread(i, obs::kLaneFault, "fault");
+    }
+    tracer->name_process(cluster_pid, "cluster");
+    tracer->name_thread(cluster_pid, obs::kLaneDispatch, "dispatch");
+    tracer->name_thread(cluster_pid, obs::kLaneControl, "control");
+  }
+  // Counter handles resolve once here; a null registry leaves every handle
+  // null and obs::bump a no-op.
+  const auto counter = [counters](const char* name) -> std::uint64_t* {
+    return counters != nullptr ? counters->handle(name) : nullptr;
+  };
+  std::uint64_t* c_requests = counter("dispatch.requests");
+  std::uint64_t* c_remote = counter("dispatch.remote");
+  std::uint64_t* c_cache_lookups = counter("cache.lookups");
+  std::uint64_t* c_cache_hits = counter("cache.hits");
+  std::uint64_t* c_redispatches = counter("fault.redispatches");
+  std::uint64_t* c_timeouts = counter("fault.timeouts");
+  std::uint64_t* c_promotions = counter("fault.promotions");
+  std::uint64_t* c_reservation_updates = counter("reservation.updates");
+
+  sim::NodeObsHooks node_hooks;
+  node_hooks.trace = tracer;
+  node_hooks.forks = counter("cpu.forks");
+  node_hooks.context_switches = counter("cpu.context_switches");
+  node_hooks.preemptions = counter("cpu.preemptions");
+  node_hooks.cpu_slices = counter("cpu.slices");
+  node_hooks.disk_slices = counter("disk.slices");
+
   std::vector<std::unique_ptr<sim::Node>> nodes;
   nodes.reserve(static_cast<std::size_t>(config_.p));
   std::vector<sim::Node*> node_ptrs;
@@ -36,6 +83,7 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
             : config_.node_params[static_cast<std::size_t>(i)];
     nodes.push_back(
         std::make_unique<sim::Node>(engine, config_.os, params, i));
+    nodes.back()->set_obs(node_hooks);
     node_ptrs.push_back(nodes.back().get());
   }
 
@@ -72,12 +120,32 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
                    config_.fault.suspect_misses, config_.fault.dead_misses);
     injector.emplace(engine, node_ptrs, config_.fault, config_.m,
                      config_.seed);
-    health->set_on_transition([&](int node, fault::NodeHealth,
+    injector->set_trace(tracer);
+    health->set_on_transition([&, tracer, c_promotions](
+                                  int node, fault::NodeHealth from,
                                   fault::NodeHealth to) {
+      if (tracer != nullptr)
+        tracer->instant(obs::Category::kFault, "health", node,
+                        obs::kLaneFault, engine.now(),
+                        {{"from", fault::to_string(from)},
+                         {"to", fault::to_string(to)}});
+      obs::logf(obs::LogLevel::kDebug, "health", "t=%.3fs node %d %s -> %s",
+                to_seconds(engine.now()), node, fault::to_string(from),
+                fault::to_string(to));
       // Roles follow *declared* state: promotion and the Theorem-1
       // re-sizing of theta'_2 happen at detection time, not crash time.
       if (to == fault::NodeHealth::kDead) {
-        membership->mark_dead(node);
+        const int promoted = membership->mark_dead(node);
+        if (promoted >= 0) {
+          obs::bump(c_promotions);
+          if (tracer != nullptr)
+            tracer->instant(obs::Category::kFault, "promote", promoted,
+                            obs::kLaneFault, engine.now(),
+                            {{"replaces", node}});
+          obs::logf(obs::LogLevel::kInfo, "membership",
+                    "t=%.3fs slave %d promoted to master (replacing %d)",
+                    to_seconds(engine.now()), promoted, node);
+        }
       } else if (to == fault::NodeHealth::kHealthy) {
         membership->mark_alive(node);
       } else {
@@ -107,6 +175,8 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     view.membership = &*membership;
     view.health = &health->all();
   }
+  view.decisions = config_.obs.decisions;
+  view.reservation_rejections = counter("dispatch.reservation_rejections");
 
   MetricsCollector metrics(config_.warmup, config_.os.fork_overhead);
   if (config_.metrics_tail_start > 0)
@@ -147,10 +217,28 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
       ++job.attempts;
       if (static_cast<int>(job.attempts) > config_.fault.max_redispatch) {
         ++timeouts;
+        obs::bump(c_timeouts);
+        if (tracer != nullptr)
+          tracer->instant(
+              obs::Category::kDispatch, "timeout", cluster_pid,
+              obs::kLaneDispatch, engine.now(),
+              {{"job", job.id},
+               {"attempts", static_cast<std::uint64_t>(job.attempts)}});
+        obs::logf(obs::LogLevel::kWarn, "failover",
+                  "t=%.3fs job %llu timed out after %u attempts",
+                  to_seconds(engine.now()),
+                  static_cast<unsigned long long>(job.id), job.attempts);
         if (--remaining == 0) engine.stop();
         return;
       }
       ++redispatches;
+      obs::bump(c_redispatches);
+      if (tracer != nullptr)
+        tracer->instant(
+            obs::Category::kDispatch, "redispatch", cluster_pid,
+            obs::kLaneDispatch, engine.now(),
+            {{"job", job.id},
+             {"attempts", static_cast<std::uint64_t>(job.attempts)}});
       const Time delay = config_.fault.redispatch_backoff *
                              static_cast<Time>(job.attempts) +
                          config_.os.remote_cgi_latency;
@@ -161,6 +249,7 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
           redispatch(std::move(job));
           return;
         }
+        view.now = engine.now();
         Decision decision = dispatcher_->route(job.request, view);
         if (decision.node < 0 || decision.node >= config_.p)
           throw std::out_of_range("dispatcher routed outside the cluster");
@@ -193,11 +282,55 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
   // Periodic theta'_2 recomputation, running as long as work remains.
   std::function<void()> reservation_tick = [&] {
     reservation.update();
+    obs::bump(c_reservation_updates);
+    if (tracer != nullptr) {
+      const Time now = engine.now();
+      tracer->counter(obs::Category::kReservation, "theta_limit",
+                      cluster_pid, now, reservation.theta_limit());
+      tracer->counter(obs::Category::kReservation, "a_hat", cluster_pid,
+                      now, reservation.a_hat());
+      tracer->counter(obs::Category::kReservation, "r_hat", cluster_pid,
+                      now, reservation.r_hat());
+      tracer->counter(obs::Category::kReservation, "master_fraction",
+                      cluster_pid, now, reservation.master_fraction());
+    }
     if (remaining > 0)
       engine.schedule_after(config_.reservation_update_period,
                             reservation_tick);
   };
   engine.schedule_after(config_.reservation_update_period, reservation_tick);
+
+  // Periodic time-series probe. The recorder is passive (no RNG, no state
+  // the simulation reads back), so enabling it cannot perturb results.
+  obs::ProbeRecorder* probes = config_.obs.probes;
+  std::function<void()> probe_tick;
+  if (probes != nullptr) {
+    probe_tick = [&] {
+      const Time now = engine.now();
+      std::vector<obs::NodeProbe> node_probes;
+      node_probes.reserve(nodes.size());
+      for (const auto& node : nodes) {
+        obs::NodeProbe probe;
+        probe.cpu_busy = node->cpu_busy_until(now);
+        probe.disk_busy = node->disk_busy_until(now);
+        probe.run_queue = static_cast<int>(node->run_queue_length());
+        probe.disk_queue = static_cast<int>(node->disk_queue_length());
+        probe.mem_used_ratio =
+            static_cast<double>(node->memory().used_pages()) /
+            static_cast<double>(node->memory().capacity_pages());
+        probe.alive = node->alive();
+        node_probes.push_back(probe);
+      }
+      obs::ClusterProbe cluster_probe;
+      cluster_probe.a_hat = reservation.a_hat();
+      cluster_probe.r_hat = reservation.r_hat();
+      cluster_probe.theta_limit = reservation.theta_limit();
+      cluster_probe.master_fraction = reservation.master_fraction();
+      probes->sample(now, node_probes, cluster_probe);
+      if (remaining > 0) engine.schedule_after(probes->interval(), probe_tick);
+    };
+    engine.schedule_after(probes->interval(), probe_tick);
+  }
 
   // Arrival cursor: submits record i, then schedules record i+1. Keeps the
   // event heap small regardless of trace length.
@@ -219,6 +352,7 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
         engine.schedule_at(trace.records[cursor].arrival, deliver);
       return;
     }
+    view.now = engine.now();
     Decision decision = dispatcher_->route(rec, view);
     if (decision.node < 0 || decision.node >= config_.p)
       throw std::out_of_range("dispatcher routed outside the cluster");
@@ -232,10 +366,12 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     // CGI-cache extension: the receiving master can serve a fresh cached
     // response as a plain file fetch, bypassing CGI execution entirely.
     bool cache_hit = false;
+    if (cache_on && rec.is_dynamic()) obs::bump(c_cache_lookups);
     if (cache_on && rec.is_dynamic() &&
         caches[static_cast<std::size_t>(decision.receiver)].lookup(
             rec.url_id, engine.now())) {
       cache_hit = true;
+      obs::bump(c_cache_hits);
       decision.node = decision.receiver;
       decision.remote = false;
       decision.rsrc_w = -1.0;
@@ -249,6 +385,17 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
           rec.size_bytes / config_.os.page_bytes + 1;
     }
     job.remote = decision.remote;
+    obs::bump(c_requests);
+    if (decision.remote) obs::bump(c_remote);
+    if (tracer != nullptr)
+      tracer->instant(obs::Category::kDispatch,
+                      cache_hit ? "cache-hit" : "dispatch", cluster_pid,
+                      obs::kLaneDispatch, engine.now(),
+                      {{"job", job.id},
+                       {"receiver", decision.receiver},
+                       {"node", decision.node},
+                       {"remote", decision.remote ? 1 : 0},
+                       {"dynamic", rec.is_dynamic() ? 1 : 0}});
     if (!cache_hit && decision.rsrc_w >= 0.0 && rec.is_dynamic())
       feedbacks[static_cast<std::size_t>(decision.receiver)].on_dispatch(
           static_cast<std::size_t>(decision.node), decision.rsrc_w);

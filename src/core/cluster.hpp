@@ -17,6 +17,7 @@
 #include "core/policy.hpp"
 #include "core/reservation.hpp"
 #include "fault/fault.hpp"
+#include "obs/observer.hpp"
 #include "sim/engine.hpp"
 #include "sim/node.hpp"
 #include "trace/record.hpp"
@@ -55,6 +56,15 @@ struct ClusterConfig {
   /// Optional tail-window start for MetricsSummary::stretch_tail
   /// (<= 0 disables); used to measure post-failover recovery.
   Time metrics_tail_start = 0;
+  /// Observability collectors (tracer, counters, decision log, probes);
+  /// every pointer null by default — a null bundle leaves the run
+  /// bit-identical to a build without the subsystem.
+  obs::Observability obs;
+  /// Runaway guard: abort the run (sim::EngineGuardError) after this many
+  /// events (0 = unlimited) ...
+  std::uint64_t max_events = 0;
+  /// ... or after this much wall-clock time in seconds (0 = unlimited).
+  double wall_budget_s = 0.0;
 };
 
 struct RunResult {

@@ -2,10 +2,29 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <string>
 
 #include "model/optimize.hpp"
 
 namespace wsched::core {
+
+namespace {
+
+/// Probe CSV path: explicit, or "<trace stem>.probes.csv", or "probes.csv".
+std::string derive_probe_path(const obs::ObsConfig& obs) {
+  if (!obs.probe_path.empty()) return obs.probe_path;
+  if (obs.trace_path.empty()) return "probes.csv";
+  const std::size_t dot = obs.trace_path.find_last_of('.');
+  const std::size_t slash = obs.trace_path.find_last_of('/');
+  const bool has_ext =
+      dot != std::string::npos &&
+      (slash == std::string::npos || dot > slash);
+  return (has_ext ? obs.trace_path.substr(0, dot) : obs.trace_path) +
+         ".probes.csv";
+}
+
+}  // namespace
 
 model::Workload analytic_workload(const ExperimentSpec& spec) {
   model::Workload w;
@@ -129,6 +148,36 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
         break;
     }
   }
+  // Observability: materialize the file-backed collectors spec.obs asks
+  // for (skipping any the caller attached directly via spec.observer).
+  obs::Observability obs = spec.observer;
+  std::unique_ptr<obs::ChromeTraceSink> trace_sink;
+  std::unique_ptr<obs::ProbeRecorder> probe_recorder;
+  std::unique_ptr<obs::DecisionLog> decision_log;
+  std::unique_ptr<obs::CounterRegistry> counter_registry;
+  if (!spec.obs.trace_path.empty() && obs.trace == nullptr) {
+    trace_sink = std::make_unique<obs::ChromeTraceSink>();
+    obs.trace = trace_sink.get();
+    if (obs.counters == nullptr) {
+      // A file-backed trace carries the counter totals too (as final 'C'
+      // samples), so one artifact answers "how many redispatches?".
+      counter_registry = std::make_unique<obs::CounterRegistry>();
+      obs.counters = counter_registry.get();
+    }
+  }
+  if (spec.obs.probe_interval_s > 0.0 && obs.probes == nullptr) {
+    probe_recorder = std::make_unique<obs::ProbeRecorder>(
+        from_seconds(spec.obs.probe_interval_s));
+    obs.probes = probe_recorder.get();
+  }
+  if (!spec.obs.decision_log_path.empty() && obs.decisions == nullptr) {
+    decision_log = std::make_unique<obs::DecisionLog>();
+    obs.decisions = decision_log.get();
+  }
+  config.obs = obs;
+  config.max_events = spec.max_events;
+  config.wall_budget_s = spec.wall_budget_s;
+
   ExperimentResult result;
   result.scheduler =
       spec.dispatcher_factory ? dispatcher->name() : to_string(spec.kind);
@@ -136,6 +185,24 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   result.run = cluster.run(trace);
   result.m_used = config.m;
   result.k_used = k;
+
+  // Counter totals ride the trace as final 'C' samples. The snapshot must
+  // outlive write_file: the sink stores the name pointers, not copies.
+  const auto counter_totals =
+      counter_registry != nullptr
+          ? counter_registry->snapshot()
+          : std::vector<std::pair<std::string, std::uint64_t>>{};
+  if (trace_sink != nullptr) {
+    const Time end = from_seconds(result.run.sim_seconds);
+    for (const auto& [name, value] : counter_totals)
+      trace_sink->counter(obs::Category::kProbe, name.c_str(), spec.p, end,
+                          static_cast<double>(value));
+    trace_sink->write_file(spec.obs.trace_path);
+  }
+  if (probe_recorder != nullptr)
+    probe_recorder->write_csv_file(derive_probe_path(spec.obs));
+  if (decision_log != nullptr)
+    decision_log->write_csv_file(spec.obs.decision_log_path);
   return result;
 }
 

@@ -13,6 +13,7 @@
 #include "core/cluster.hpp"
 #include "core/policy.hpp"
 #include "model/queueing.hpp"
+#include "obs/observer.hpp"
 #include "trace/generator.hpp"
 #include "trace/profile.hpp"
 
@@ -67,6 +68,19 @@ struct ExperimentSpec {
   /// Custom dispatcher override (the extension point examples use): when
   /// set, `kind` is ignored and the factory's dispatcher routes the run.
   std::function<std::unique_ptr<Dispatcher>()> dispatcher_factory;
+  /// File-backed observability (trace JSON, probe CSV, decision-log CSV):
+  /// run_experiment materializes the requested collectors, attaches them,
+  /// and writes each artifact after the run. Defaults to fully off.
+  obs::ObsConfig obs;
+  /// Caller-owned collectors attached directly (tests and embedding code);
+  /// a collector already present here wins over one `obs` would create,
+  /// and nothing is written for it.
+  obs::Observability observer;
+  /// Engine runaway guard, forwarded to the cluster: abort with
+  /// sim::EngineGuardError past this many events (0 = unlimited) ...
+  std::uint64_t max_events = 0;
+  /// ... or past this much wall-clock time in seconds (0 = unlimited).
+  double wall_budget_s = 0.0;
 };
 
 /// The analytic workload corresponding to a spec (for Theorem 1 sizing and

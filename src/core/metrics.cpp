@@ -26,9 +26,11 @@ void MetricsCollector::record(const sim::Job& job, Time completion) {
   if (dynamic) {
     stretch_dynamic_.add(stretch);
     response_dynamic_.add(response_s);
+    response_pct_dynamic_.add(response_s);
   } else {
     stretch_static_.add(stretch);
     response_static_.add(response_s);
+    response_pct_static_.add(response_s);
   }
 }
 
@@ -43,8 +45,15 @@ MetricsSummary MetricsCollector::summary() const {
   s.mean_response_s = response_all_.mean();
   s.mean_response_static_s = response_static_.mean();
   s.mean_response_dynamic_s = response_dynamic_.mean();
+  s.p50_response_s = response_pct_.percentile(0.50);
   s.p95_response_s = response_pct_.percentile(0.95);
   s.p99_response_s = response_pct_.percentile(0.99);
+  s.p50_response_static_s = response_pct_static_.percentile(0.50);
+  s.p95_response_static_s = response_pct_static_.percentile(0.95);
+  s.p99_response_static_s = response_pct_static_.percentile(0.99);
+  s.p50_response_dynamic_s = response_pct_dynamic_.percentile(0.50);
+  s.p95_response_dynamic_s = response_pct_dynamic_.percentile(0.95);
+  s.p99_response_dynamic_s = response_pct_dynamic_.percentile(0.99);
   s.max_stretch = stretch_all_.max();
   s.completed_disrupted = stretch_disrupted_.count();
   s.stretch_disrupted = stretch_disrupted_.mean();

@@ -24,8 +24,17 @@ struct MetricsSummary {
   double mean_response_s = 0.0;
   double mean_response_static_s = 0.0;
   double mean_response_dynamic_s = 0.0;
+  double p50_response_s = 0.0;
   double p95_response_s = 0.0;
   double p99_response_s = 0.0;
+  /// Per-class percentile split: the aggregate tail hides which request
+  /// class pays it (static medians are milliseconds, CGI tails seconds).
+  double p50_response_static_s = 0.0;
+  double p95_response_static_s = 0.0;
+  double p99_response_static_s = 0.0;
+  double p50_response_dynamic_s = 0.0;
+  double p95_response_dynamic_s = 0.0;
+  double p99_response_dynamic_s = 0.0;
   double max_stretch = 0.0;
   /// Failure-window metrics (all zero when fault injection is off).
   /// "Disrupted" requests were re-dispatched after a crash or arrived
@@ -73,6 +82,8 @@ class MetricsCollector {
   RunningStats response_static_;
   RunningStats response_dynamic_;
   PercentileSampler response_pct_;
+  PercentileSampler response_pct_static_;
+  PercentileSampler response_pct_dynamic_;
 };
 
 }  // namespace wsched::core

@@ -1,15 +1,62 @@
 #include "core/policy.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 #include "core/rsrc.hpp"
+#include "obs/counters.hpp"
 
 namespace wsched::core {
 namespace {
 
 int random_in(Rng& rng, int count) {
   return static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(count)));
+}
+
+/// "node:score" per candidate, '|'-joined, for the decision log. Scores use
+/// the same cost function the pick used, so the log explains the choice.
+std::string score_candidates(double w, const std::vector<int>& candidates,
+                             const std::vector<LoadInfo>& load,
+                             const std::vector<sim::NodeParams>* speeds) {
+  std::string joined;
+  char buf[48];
+  for (const int node : candidates) {
+    const LoadInfo& info = load[static_cast<std::size_t>(node)];
+    const double cost =
+        speeds == nullptr
+            ? rsrc_cost(w, info)
+            : rsrc_cost_heterogeneous(
+                  w, info,
+                  (*speeds)[static_cast<std::size_t>(node)].cpu_speed,
+                  (*speeds)[static_cast<std::size_t>(node)].disk_speed);
+    std::snprintf(buf, sizeof buf, "%d:%.4f", node, cost);
+    if (!joined.empty()) joined += '|';
+    joined += buf;
+  }
+  return joined;
+}
+
+/// Appends one record when the view carries a decision log; `candidates`
+/// (with `load`) adds the scored candidate set.
+void log_decision(ClusterView& view, const Decision& decision, bool dynamic,
+                  const char* reason,
+                  const std::vector<int>* candidates = nullptr,
+                  const std::vector<LoadInfo>* load = nullptr,
+                  const std::vector<sim::NodeParams>* speeds = nullptr) {
+  if (view.decisions == nullptr) return;
+  obs::DecisionRecord record;
+  record.at = view.now;
+  record.dynamic = dynamic;
+  record.receiver = decision.receiver;
+  record.chosen = decision.node;
+  record.remote = decision.remote;
+  record.w = decision.rsrc_w;
+  record.reason = reason;
+  if (candidates != nullptr && load != nullptr)
+    record.candidates =
+        score_candidates(decision.rsrc_w, *candidates, *load, speeds);
+  view.decisions->record(std::move(record));
 }
 
 /// Copies the declared-healthy subset of `from` into `out`.
@@ -22,7 +69,8 @@ void filter_healthy(const ClusterView& view, const std::vector<int>& from,
 
 class FlatDispatcher final : public Dispatcher {
  public:
-  Decision route(const trace::TraceRecord&, ClusterView& view) override {
+  Decision route(const trace::TraceRecord& request,
+                 ClusterView& view) override {
     if (view.fault_aware()) {
       // Switch-based load balancing health-checks its pool: route among
       // declared-healthy nodes (falling back to all live-declared nodes,
@@ -30,15 +78,23 @@ class FlatDispatcher final : public Dispatcher {
       filter_healthy(view, view.membership->available(), healthy_);
       const std::vector<int>& pool =
           healthy_.empty() ? view.membership->available() : healthy_;
-      if (pool.empty()) return Decision{0, false, -1.0, 0};
+      if (pool.empty()) {
+        const Decision decision{0, false, -1.0, 0};
+        log_decision(view, decision, request.is_dynamic(), "no-candidates");
+        return decision;
+      }
       const int node =
           pool[static_cast<std::size_t>(random_in(
               *view.rng, static_cast<int>(pool.size())))];
-      return Decision{node, false, -1.0, node};
+      const Decision decision{node, false, -1.0, node};
+      log_decision(view, decision, request.is_dynamic(), "flat-random");
+      return decision;
     }
     // DNS/switch baseline: uniformly random node, executed where received.
     const int node = random_in(*view.rng, view.p);
-    return Decision{node, false, -1.0, node};
+    const Decision decision{node, false, -1.0, node};
+    log_decision(view, decision, request.is_dynamic(), "flat-random");
+    return decision;
   }
   std::string name() const override { return "Flat"; }
 
@@ -63,7 +119,9 @@ class MsDispatcher final : public Dispatcher {
     const int receiver = random_in(*view.rng, masters);
     if (!request.is_dynamic()) {
       // "Static requests are processed locally at masters."
-      return Decision{receiver, false, -1.0, receiver};
+      const Decision decision{receiver, false, -1.0, receiver};
+      log_decision(view, decision, false, "static-local");
+      return decision;
     }
 
     // Dynamic: min-RSRC over slaves plus, reservation permitting, masters.
@@ -76,6 +134,8 @@ class MsDispatcher final : public Dispatcher {
              ? view.reservation->binary_gate_open()
              : view.rng->uniform() <
                    view.reservation->master_admission());
+    if (reservation_active && !masters_allowed)
+      obs::bump(view.reservation_rejections);
 
     candidates_.clear();
     if (masters_allowed)
@@ -88,13 +148,18 @@ class MsDispatcher final : public Dispatcher {
         options_.sample_demand ? request.cpu_fraction : 0.5;
     const std::vector<sim::NodeParams>* speeds =
         options_.speed_aware ? view.node_params : nullptr;
-    const std::size_t pick =
-        pick_min_rsrc(w, candidates_, view.load_seen_by(receiver), speeds,
-                      *view.rng, options_.rsrc_tolerance);
+    const std::vector<LoadInfo>& seen = view.load_seen_by(receiver);
+    const std::size_t pick = pick_min_rsrc(w, candidates_, seen, speeds,
+                                           *view.rng,
+                                           options_.rsrc_tolerance);
     const int target = candidates_[pick];
     if (view.reservation != nullptr)
       view.reservation->record_dynamic_routing(target < view.m);
-    return Decision{target, target != receiver, w, receiver};
+    const Decision decision{target, target != receiver, w, receiver};
+    log_decision(view, decision, true,
+                 masters_allowed ? "min-rsrc" : "min-rsrc-reserved",
+                 &candidates_, &seen, speeds);
+    return decision;
   }
 
   std::string name() const override {
@@ -124,12 +189,19 @@ class MsDispatcher final : public Dispatcher {
                    masters_);
     if (masters_.empty()) filter_healthy(view, mem.available(), masters_);
     if (masters_.empty()) masters_ = mem.available();
-    if (masters_.empty()) return Decision{0, false, -1.0, 0};
+    if (masters_.empty()) {
+      const Decision decision{0, false, -1.0, 0};
+      log_decision(view, decision, request.is_dynamic(), "no-candidates");
+      return decision;
+    }
     const int receiver =
         masters_[static_cast<std::size_t>(random_in(
             *view.rng, static_cast<int>(masters_.size())))];
-    if (!request.is_dynamic())
-      return Decision{receiver, false, -1.0, receiver};
+    if (!request.is_dynamic()) {
+      const Decision decision{receiver, false, -1.0, receiver};
+      log_decision(view, decision, false, "static-local");
+      return decision;
+    }
 
     const bool reservation_active =
         options_.reserve && !options_.all_masters &&
@@ -140,6 +212,8 @@ class MsDispatcher final : public Dispatcher {
              ? view.reservation->binary_gate_open()
              : view.rng->uniform() <
                    view.reservation->master_admission());
+    if (reservation_active && !masters_allowed)
+      obs::bump(view.reservation_rejections);
 
     candidates_.clear();
     if (masters_allowed)
@@ -155,13 +229,18 @@ class MsDispatcher final : public Dispatcher {
         options_.sample_demand ? request.cpu_fraction : 0.5;
     const std::vector<sim::NodeParams>* speeds =
         options_.speed_aware ? view.node_params : nullptr;
-    const std::size_t pick =
-        pick_min_rsrc(w, candidates_, view.load_seen_by(receiver), speeds,
-                      *view.rng, options_.rsrc_tolerance);
+    const std::vector<LoadInfo>& seen = view.load_seen_by(receiver);
+    const std::size_t pick = pick_min_rsrc(w, candidates_, seen, speeds,
+                                           *view.rng,
+                                           options_.rsrc_tolerance);
     const int target = candidates_[pick];
     if (view.reservation != nullptr)
       view.reservation->record_dynamic_routing(mem.is_master(target));
-    return Decision{target, target != receiver, w, receiver};
+    const Decision decision{target, target != receiver, w, receiver};
+    log_decision(view, decision, true,
+                 masters_allowed ? "min-rsrc" : "min-rsrc-reserved",
+                 &candidates_, &seen, speeds);
+    return decision;
   }
 
   MsOptions options_;
@@ -187,34 +266,50 @@ class MsPrimeDispatcher final : public Dispatcher {
     if (view.fault_aware()) {
       filter_healthy(view, view.membership->available(), healthy_);
       if (healthy_.empty()) healthy_ = view.membership->available();
-      if (healthy_.empty()) return Decision{0, false, -1.0, 0};
+      if (healthy_.empty()) {
+        const Decision decision{0, false, -1.0, 0};
+        log_decision(view, decision, request.is_dynamic(), "no-candidates");
+        return decision;
+      }
       const int receiver =
           healthy_[static_cast<std::size_t>(random_in(
               *view.rng, static_cast<int>(healthy_.size())))];
-      if (!request.is_dynamic())
-        return Decision{receiver, false, -1.0, receiver};
+      if (!request.is_dynamic()) {
+        const Decision decision{receiver, false, -1.0, receiver};
+        log_decision(view, decision, false, "static-spread");
+        return decision;
+      }
       candidates_.clear();
       for (int n = 0; n < k; ++n)
         if (view.node_healthy(n)) candidates_.push_back(n);
       if (candidates_.empty()) candidates_ = healthy_;
-      const std::size_t pick =
-          pick_min_rsrc(request.cpu_fraction, candidates_,
-                        view.load_seen_by(receiver), *view.rng);
+      const std::vector<LoadInfo>& seen = view.load_seen_by(receiver);
+      const std::size_t pick = pick_min_rsrc(request.cpu_fraction,
+                                             candidates_, seen, *view.rng);
       const int target = candidates_[pick];
-      return Decision{target, target != receiver, request.cpu_fraction,
-                      receiver};
+      const Decision decision{target, target != receiver,
+                              request.cpu_fraction, receiver};
+      log_decision(view, decision, true, "min-rsrc-dedicated", &candidates_,
+                   &seen);
+      return decision;
     }
     const int receiver = random_in(*view.rng, view.p);
-    if (!request.is_dynamic())
-      return Decision{receiver, false, -1.0, receiver};
+    if (!request.is_dynamic()) {
+      const Decision decision{receiver, false, -1.0, receiver};
+      log_decision(view, decision, false, "static-spread");
+      return decision;
+    }
     candidates_.clear();
     for (int n = 0; n < k; ++n) candidates_.push_back(n);
-    const std::size_t pick =
-        pick_min_rsrc(request.cpu_fraction, candidates_,
-                      view.load_seen_by(receiver), *view.rng);
+    const std::vector<LoadInfo>& seen = view.load_seen_by(receiver);
+    const std::size_t pick = pick_min_rsrc(request.cpu_fraction, candidates_,
+                                           seen, *view.rng);
     const int target = candidates_[pick];
-    return Decision{target, target != receiver, request.cpu_fraction,
-                    receiver};
+    const Decision decision{target, target != receiver, request.cpu_fraction,
+                            receiver};
+    log_decision(view, decision, true, "min-rsrc-dedicated", &candidates_,
+                 &seen);
+    return decision;
   }
 
   std::string name() const override { return "M/S'"; }

@@ -25,9 +25,11 @@
 #include "core/reservation.hpp"
 #include "fault/health.hpp"
 #include "fault/membership.hpp"
+#include "obs/decision_log.hpp"
 #include "sim/params.hpp"
 #include "trace/record.hpp"
 #include "util/rng.hpp"
+#include "util/time.hpp"
 
 namespace wsched::core {
 
@@ -56,6 +58,17 @@ struct ClusterView {
   /// consulting ground truth.
   const fault::Membership* membership = nullptr;
   const std::vector<fault::NodeHealth>* health = nullptr;
+
+  // --- observability (all null by default: no effect, no cost beyond one
+  //     branch per decision) ---
+  /// Structured per-dispatch records (candidate scores, chosen node,
+  /// reason); null = off.
+  obs::DecisionLog* decisions = nullptr;
+  /// Counter handle bumped when the reservation gate excludes the masters
+  /// from a dynamic request's candidate set; null = off.
+  std::uint64_t* reservation_rejections = nullptr;
+  /// Dispatch time, stamped on decision records by the cluster.
+  Time now = 0;
 
   /// The load picture receiver `node` routes by.
   const std::vector<LoadInfo>& load_seen_by(int node) const {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/log.hpp"
+
 namespace wsched::fault {
 
 FaultInjector::FaultInjector(sim::Engine& engine,
@@ -49,6 +51,15 @@ void FaultInjector::apply(const FaultEvent& event) {
       // Factors persist across crash/recovery until explicitly restored.
       nodes_[static_cast<std::size_t>(event.node)]->set_degradation(
           event.cpu_factor, event.disk_factor);
+      if (trace_ != nullptr)
+        trace_->instant(obs::Category::kFault, "degrade", event.node,
+                        obs::kLaneFault, engine_.now(),
+                        {{"cpu_factor", event.cpu_factor},
+                         {"disk_factor", event.disk_factor}});
+      obs::logf(obs::LogLevel::kInfo, "fault",
+                "t=%.3fs node %d degraded (cpu x%.2f, disk x%.2f)",
+                to_seconds(engine_.now()), event.node, event.cpu_factor,
+                event.disk_factor);
       break;
   }
 }
@@ -60,6 +71,14 @@ void FaultInjector::crash_node(int node) {
   ++crashes_;
   ++down_count_;
   down_since_[static_cast<std::size_t>(node)] = engine_.now();
+  if (trace_ != nullptr)
+    trace_->instant(obs::Category::kFault, "crash", node, obs::kLaneFault,
+                    engine_.now(),
+                    {{"dropped_jobs",
+                      static_cast<std::uint64_t>(dropped.size())}});
+  obs::logf(obs::LogLevel::kWarn, "fault",
+            "t=%.3fs node %d crashed, %zu in-flight jobs dropped",
+            to_seconds(engine_.now()), node, dropped.size());
   if (on_crash_) on_crash_(node, std::move(dropped));
 }
 
@@ -70,6 +89,11 @@ void FaultInjector::recover_node(int node) {
   --down_count_;
   downtime_ +=
       engine_.now() - down_since_[static_cast<std::size_t>(node)];
+  if (trace_ != nullptr)
+    trace_->instant(obs::Category::kFault, "recover", node, obs::kLaneFault,
+                    engine_.now());
+  obs::logf(obs::LogLevel::kInfo, "fault", "t=%.3fs node %d recovered",
+            to_seconds(engine_.now()), node);
   if (on_recover_) on_recover_(node);
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "fault/health.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/node.hpp"
 #include "util/rng.hpp"
@@ -94,6 +95,10 @@ class FaultInjector {
   void set_on_crash(CrashFn fn) { on_crash_ = std::move(fn); }
   void set_on_recover(RecoverFn fn) { on_recover_ = std::move(fn); }
 
+  /// Attaches an event tracer (null = off); fault instants land on the
+  /// affected node's fault lane.
+  void set_trace(obs::TraceSink* trace) { trace_ = trace; }
+
   /// Schedules every scripted event plus the first stochastic failure per
   /// eligible node; call once before the run.
   void start();
@@ -125,6 +130,7 @@ class FaultInjector {
   std::uint64_t crashes_ = 0;
   CrashFn on_crash_;
   RecoverFn on_recover_;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace wsched::fault

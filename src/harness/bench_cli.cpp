@@ -4,6 +4,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/log.hpp"
+
 namespace wsched::harness {
 
 BenchCli::BenchCli(int argc, const char* const* argv)
@@ -13,6 +15,48 @@ BenchCli::BenchCli(int argc, const char* const* argv)
       quick(env_flag("WSCHED_QUICK", false) || args.get_bool("quick", false)) {
   options.jobs = static_cast<int>(args.get_int("jobs", 0));
   options.filters = args.get_all("filter");
+  obs.trace_path = args.get("trace", "");
+  obs.probe_interval_s = args.get_double("probe-interval", 0.0);
+  obs.probe_path = args.get("probe-out", "");
+  obs.decision_log_path = args.get("decision-log", "");
+  if (args.has("log")) {
+    obs::set_log_level(obs::parse_log_level(args.get("log", "off")));
+  } else {
+    obs::init_log_from_env();
+  }
+}
+
+namespace {
+
+/// "out.json" + index 3 -> "out-p3.json"; extensionless paths get the
+/// suffix appended.
+std::string suffix_path(const std::string& path, std::size_t index) {
+  if (path.empty()) return path;
+  const std::size_t dot = path.find_last_of('.');
+  const std::size_t slash = path.find_last_of('/');
+  const bool has_ext =
+      dot != std::string::npos &&
+      (slash == std::string::npos || dot > slash);
+  const std::string tag = "-p" + std::to_string(index);
+  return has_ext ? path.substr(0, dot) + tag + path.substr(dot)
+                 : path + tag;
+}
+
+}  // namespace
+
+obs::ObsConfig obs_for_point(const obs::ObsConfig& base, std::size_t index,
+                             bool multi) {
+  if (!multi) return base;
+  obs::ObsConfig result = base;
+  result.trace_path = suffix_path(base.trace_path, index);
+  result.probe_path = suffix_path(base.probe_path, index);
+  result.decision_log_path = suffix_path(base.decision_log_path, index);
+  // Probes on with neither an explicit path nor a trace to derive from
+  // would collapse every point onto "probes.csv"; pin the default here.
+  if (base.probe_interval_s > 0.0 && base.probe_path.empty() &&
+      base.trace_path.empty())
+    result.probe_path = suffix_path("probes.csv", index);
+  return result;
 }
 
 std::string artifact_stem(const SweepSpec& spec, const BenchCli& cli) {
@@ -29,7 +73,24 @@ std::optional<SweepRun> run_bench(const SweepSpec& spec, const BenchCli& cli,
     return std::nullopt;
   }
 
-  SweepRun run = run_sweep(spec, cli.options, eval);
+  // Observability injection: each evaluated point gets the CLI's obs
+  // request in its spec (run_experiment materializes the collectors).
+  // With several points, file paths are suffixed by grid index so parallel
+  // evaluation never interleaves writers.
+  EvalFn wrapped = eval;
+  if (cli.obs.any()) {
+    std::size_t filtered = 0;
+    for (const GridPoint& point : expand(spec))
+      if (matches_filters(point.id, cli.options.filters)) ++filtered;
+    const bool multi = filtered > 1;
+    wrapped = [&eval, &cli, multi](const GridPoint& point) {
+      GridPoint traced = point;
+      traced.spec.obs = obs_for_point(cli.obs, point.index, multi);
+      return eval(traced);
+    };
+  }
+
+  SweepRun run = run_sweep(spec, cli.options, wrapped);
 
   const std::string stem = artifact_stem(spec, cli);
   if (!stem.empty()) {

@@ -1,21 +1,35 @@
 // The shared command line of every bench/example binary.
 //
-//   --jobs N      worker threads for point evaluation (0 = all cores;
-//                 default 0 — sweeps are embarrassingly parallel and
-//                 artifacts are order-independent by construction)
-//   --filter S    run only points whose id contains S (repeatable, OR)
-//   --out PATH    write PATH.csv and PATH.json artifacts (a sweep with a
-//                 name writes PATH-<name>.csv / PATH-<name>.json)
-//   --list        print the (filtered) point ids and exit
-//   --quick       CI-sized runs (also via WSCHED_QUICK=1)
+//   --jobs N             worker threads for point evaluation (0 = all
+//                        cores; default 0 — sweeps are embarrassingly
+//                        parallel and artifacts are order-independent by
+//                        construction)
+//   --filter S           run only points whose id contains S (repeatable,
+//                        OR)
+//   --out PATH           write PATH.csv and PATH.json artifacts (a sweep
+//                        with a name writes PATH-<name>.csv / .json)
+//   --list               print the (filtered) point ids and exit
+//   --quick              CI-sized runs (also via WSCHED_QUICK=1)
+//   --trace FILE         write a Chrome trace_event JSON of each evaluated
+//                        point (Perfetto-loadable); with more than one
+//                        point, files are suffixed -p<index>
+//   --probe-interval S   sample per-node/cluster time series every S
+//                        simulated seconds into a long-format CSV
+//   --probe-out FILE     probe CSV path (default: derived from --trace,
+//                        else probes.csv)
+//   --decision-log FILE  per-dispatch decision records as CSV
+//   --log LEVEL          structured-diagnostics verbosity
+//                        (off|warn|info|debug; also via WSCHED_LOG)
 //
 // Bench-specific flags stay available through `args`.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 
 #include "harness/sweep.hpp"
+#include "obs/observer.hpp"
 #include "util/cli.hpp"
 
 namespace wsched::harness {
@@ -28,15 +42,27 @@ struct BenchCli {
   std::string out;
   bool list = false;
   bool quick = false;
+  /// Observability request from --trace / --probe-interval / --probe-out /
+  /// --decision-log; run_bench applies it to every evaluated point (with
+  /// per-point path suffixes so concurrent points never share a file).
+  obs::ObsConfig obs;
 };
 
 /// Artifact path stem for one sweep under --out (empty when --out unset).
 std::string artifact_stem(const SweepSpec& spec, const BenchCli& cli);
 
+/// `base` specialized to one grid point: when `multi`, every file path is
+/// suffixed "-p<index>" before its extension (and a default probe path is
+/// pinned) so points running in parallel write distinct files.
+obs::ObsConfig obs_for_point(const obs::ObsConfig& base, std::size_t index,
+                             bool multi);
+
 /// The shared bench protocol: under --list prints the filtered point ids
 /// and returns nullopt (the caller should exit); otherwise runs the sweep
-/// with the CLI's jobs/filters, writes <out>.csv / <out>.json when --out is
-/// set, and returns the run for the bench's own table rendering.
+/// with the CLI's jobs/filters — with any --trace/--probe/--decision-log
+/// observability injected into each point's spec — writes <out>.csv /
+/// <out>.json when --out is set, and returns the run for the bench's own
+/// table rendering.
 std::optional<SweepRun> run_bench(const SweepSpec& spec, const BenchCli& cli,
                                   const EvalFn& eval);
 

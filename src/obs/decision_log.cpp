@@ -1,0 +1,35 @@
+#include "obs/decision_log.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "harness/artifacts.hpp"
+
+namespace wsched::obs {
+
+void DecisionLog::write_csv(std::ostream& out) const {
+  std::vector<harness::ResultRow> rows;
+  rows.reserve(records_.size());
+  for (const DecisionRecord& record : records_) {
+    harness::ResultRow row;
+    row.set("seq", static_cast<unsigned long long>(record.seq))
+        .set("t_s", to_seconds(record.at))
+        .set("class", record.dynamic ? "dynamic" : "static")
+        .set("receiver", record.receiver)
+        .set("chosen", record.chosen)
+        .set_bool("remote", record.remote)
+        .set("w", record.w)
+        .set("reason", record.reason)
+        .set("candidates", record.candidates);
+    rows.push_back(std::move(row));
+  }
+  harness::write_csv(out, rows);
+}
+
+void DecisionLog::write_csv_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open decision log " + path);
+  write_csv(out);
+}
+
+}  // namespace wsched::obs

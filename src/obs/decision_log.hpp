@@ -1,0 +1,59 @@
+// Structured per-dispatch decision records.
+//
+// When enabled, every routing decision appends one record: the time, the
+// request class, the accepting front end, the chosen node, whether the hop
+// was remote, the RSRC weight used, a reason tag, and the candidate set
+// with each candidate's RSRC score ("node:score" pairs). The log is what
+// turns "the policy regressed" into "at t=4.2s the reservation closed and
+// every CGI herded onto slave 7" — diffable across two runs because the
+// serialization rides the canonical artifacts writers.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace wsched::obs {
+
+struct DecisionRecord {
+  Time at = 0;
+  std::uint64_t seq = 0;  ///< insertion order
+  bool dynamic = false;
+  int receiver = 0;
+  int chosen = 0;
+  bool remote = false;
+  double w = -1.0;  ///< RSRC weight; negative when not RSRC-based
+  /// Why this node: "static-local", "min-rsrc", "flat-random",
+  /// "cache-hit", "redispatch", ...
+  const char* reason = "";
+  /// "node:score" per candidate considered, '|'-joined; empty when the
+  /// decision had no scored candidate set.
+  std::string candidates;
+};
+
+class DecisionLog {
+ public:
+  /// Appends one record, stamping the sequence number.
+  void record(DecisionRecord record) {
+    record.seq = records_.size();
+    records_.push_back(std::move(record));
+  }
+
+  const std::vector<DecisionRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  /// Canonical CSV (via the harness artifact writers): one row per record
+  /// with columns seq, t_s, class, receiver, chosen, remote, w, reason,
+  /// candidates.
+  void write_csv(std::ostream& out) const;
+  void write_csv_file(const std::string& path) const;
+
+ private:
+  std::vector<DecisionRecord> records_;
+};
+
+}  // namespace wsched::obs

@@ -1,0 +1,54 @@
+// The bundle of observability collectors one run reports into, plus the
+// file-oriented configuration benches use to request them.
+//
+// Ownership: the caller owns every collector and passes an Observability
+// of raw pointers into the cluster (via ClusterConfig::obs). Any pointer
+// may be null — each instrumentation site guards on its own collector, so
+// enabling tracing does not imply paying for decision logging, and a null
+// bundle (the default) is indistinguishable from a build without the
+// subsystem.
+#pragma once
+
+#include <string>
+
+#include "obs/counters.hpp"
+#include "obs/decision_log.hpp"
+#include "obs/probes.hpp"
+#include "obs/trace.hpp"
+
+namespace wsched::obs {
+
+struct Observability {
+  TraceSink* trace = nullptr;
+  CounterRegistry* counters = nullptr;
+  DecisionLog* decisions = nullptr;
+  ProbeRecorder* probes = nullptr;
+
+  bool any() const {
+    return trace != nullptr || counters != nullptr || decisions != nullptr ||
+           probes != nullptr;
+  }
+};
+
+/// Declarative request for file-backed observability, carried by
+/// core::ExperimentSpec so sweeps and benches can switch it on per run.
+/// run_experiment materializes the collectors, attaches them, and writes
+/// each requested artifact after the run.
+struct ObsConfig {
+  /// Chrome trace_event JSON output path; empty disables tracing.
+  std::string trace_path;
+  /// Probe sampling interval in seconds; <= 0 disables probes.
+  double probe_interval_s = 0.0;
+  /// Probe CSV path; empty derives "<stem>.probes.csv" from trace_path
+  /// (or "probes.csv" when tracing is off).
+  std::string probe_path;
+  /// Per-dispatch decision log CSV path; empty disables the log.
+  std::string decision_log_path;
+
+  bool any() const {
+    return !trace_path.empty() || probe_interval_s > 0.0 ||
+           !decision_log_path.empty();
+  }
+};
+
+}  // namespace wsched::obs

@@ -1,0 +1,169 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "harness/artifacts.hpp"
+
+namespace wsched::obs {
+
+const char* to_string(Category category) {
+  switch (category) {
+    case Category::kRequest: return "request";
+    case Category::kDispatch: return "dispatch";
+    case Category::kCpu: return "cpu";
+    case Category::kDisk: return "disk";
+    case Category::kMemory: return "memory";
+    case Category::kFault: return "fault";
+    case Category::kReservation: return "reservation";
+    case Category::kProbe: return "probe";
+    case Category::kLog: return "log";
+  }
+  return "?";
+}
+
+void ChromeTraceSink::push(Event event) {
+  ++per_category_[static_cast<std::size_t>(event.category)];
+  if (event.name != nullptr) {
+    recent_names_[recent_next_ % kRecent] = event.name;
+    ++recent_next_;
+  }
+  events_.push_back(std::move(event));
+}
+
+void ChromeTraceSink::span(Category category, const char* name, int pid,
+                           int tid, Time start, Time dur, TraceArgs args) {
+  push(Event{category, 'X', name, {}, pid, tid, start, dur, 0,
+             std::move(args)});
+}
+
+void ChromeTraceSink::instant(Category category, const char* name, int pid,
+                              int tid, Time t, TraceArgs args) {
+  push(Event{category, 'i', name, {}, pid, tid, t, 0, 0, std::move(args)});
+}
+
+void ChromeTraceSink::counter(Category category, const char* name, int pid,
+                              Time t, double value) {
+  TraceArgs args;
+  args.emplace_back("value", value);
+  push(Event{category, 'C', name, {}, pid, 0, t, 0, 0, std::move(args)});
+}
+
+void ChromeTraceSink::async_begin(Category category, const char* name,
+                                  int pid, std::uint64_t id, Time t,
+                                  TraceArgs args) {
+  push(Event{category, 'b', name, {}, pid, 0, t, 0, id, std::move(args)});
+}
+
+void ChromeTraceSink::async_end(Category category, const char* name, int pid,
+                                std::uint64_t id, Time t, TraceArgs args) {
+  push(Event{category, 'e', name, {}, pid, 0, t, 0, id, std::move(args)});
+}
+
+void ChromeTraceSink::name_process(int pid, const std::string& name) {
+  TraceArgs args;
+  args.emplace_back("name", name);
+  push(Event{Category::kLog, 'M', "process_name", {}, pid, 0, 0, 0, 0,
+             std::move(args)});
+}
+
+void ChromeTraceSink::name_thread(int pid, int tid, const std::string& name) {
+  TraceArgs args;
+  args.emplace_back("name", name);
+  push(Event{Category::kLog, 'M', "thread_name", {}, pid, tid, 0, 0, 0,
+             std::move(args)});
+}
+
+std::string ChromeTraceSink::recent_summary() const {
+  std::ostringstream out;
+  out << "trace events by category:";
+  for (std::size_t i = 0; i < kCategoryCount; ++i)
+    if (per_category_[i] > 0)
+      out << ' ' << to_string(static_cast<Category>(i)) << '='
+          << per_category_[i];
+  const std::size_t count = recent_next_ < kRecent ? recent_next_ : kRecent;
+  if (count > 0) {
+    out << "; last events:";
+    // Oldest first within the ring.
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t idx = (recent_next_ - count + i) % kRecent;
+      out << ' ' << recent_names_[idx];
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
+/// Simulator Time (integral ns) as Chrome microseconds. Chrome ts values
+/// are conventionally doubles; three decimals keep full ns fidelity.
+void write_us(std::ostream& out, Time t) {
+  out << t / 1000 << '.';
+  const Time frac = t % 1000;
+  out << static_cast<char>('0' + frac / 100)
+      << static_cast<char>('0' + (frac / 10) % 10)
+      << static_cast<char>('0' + frac % 10);
+}
+
+void write_args(std::ostream& out, const TraceArgs& args) {
+  out << "\"args\":{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out << ',';
+    const TraceArg& arg = args[i];
+    out << '"' << harness::json_escape(arg.key) << "\":";
+    if (arg.text.empty()) {
+      out << harness::format_number(arg.num);
+    } else {
+      out << '"' << harness::json_escape(arg.text) << '"';
+    }
+  }
+  out << '}';
+}
+
+}  // namespace
+
+void ChromeTraceSink::write(std::ostream& out) const {
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const Event& event : events_) {
+    if (!first) out << ",\n";
+    first = false;
+    const char* name =
+        event.name != nullptr ? event.name : event.owned_name.c_str();
+    out << "{\"name\":\"" << harness::json_escape(name) << "\",\"cat\":\""
+        << to_string(event.category) << "\",\"ph\":\"" << event.phase
+        << "\",\"pid\":" << event.pid << ",\"tid\":" << event.tid
+        << ",\"ts\":";
+    write_us(out, event.ts);
+    if (event.phase == 'X') {
+      out << ",\"dur\":";
+      write_us(out, event.dur);
+    }
+    if (event.phase == 'b' || event.phase == 'e')
+      out << ",\"id\":\"0x" << std::hex << event.id << std::dec << '"';
+    if (event.phase == 'i') out << ",\"s\":\"t\"";
+    if (!event.args.empty()) {
+      out << ',';
+      write_args(out, event.args);
+    }
+    out << '}';
+  }
+  out << "\n]}\n";
+}
+
+std::string ChromeTraceSink::str() const {
+  std::ostringstream out;
+  write(out);
+  return out.str();
+}
+
+void ChromeTraceSink::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open trace file " + path);
+  write(out);
+}
+
+}  // namespace wsched::obs

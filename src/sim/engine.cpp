@@ -1,12 +1,64 @@
 #include "sim/engine.hpp"
 
+#include <chrono>
+#include <sstream>
 #include <utility>
 
 namespace wsched::sim {
 
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 void Engine::schedule_at(Time t, Action fn) {
   if (t < now_) t = now_;
   queue_.push(Entry{t, seq_++, std::move(fn)});
+}
+
+void Engine::set_guard(std::uint64_t max_events, double wall_budget_s) {
+  guard_max_events_ = max_events;
+  guard_wall_budget_s_ = wall_budget_s;
+  guard_armed_ = max_events > 0 || wall_budget_s > 0.0;
+  guard_wall_deadline_ns_ = 0;  // re-anchored on the next run()
+}
+
+void Engine::guard_abort(const char* which) {
+  std::ostringstream message;
+  message << "engine guard tripped (" << which << "): t="
+          << to_seconds(now_) << "s processed=" << processed_
+          << " pending=" << queue_.size();
+  if (guard_max_events_ > 0)
+    message << " max_events=" << guard_max_events_;
+  if (guard_wall_budget_s_ > 0.0)
+    message << " wall_budget=" << guard_wall_budget_s_ << "s";
+  if (guard_diagnostics_) {
+    const std::string context = guard_diagnostics_();
+    if (!context.empty()) message << "; " << context;
+  }
+  throw EngineGuardError(message.str(), now_, processed_, queue_.size());
+}
+
+void Engine::check_guard() {
+  if (guard_max_events_ > 0 && processed_ >= guard_max_events_)
+    guard_abort("max events");
+  if (guard_wall_budget_s_ > 0.0) {
+    // The clock read is amortized: once every 8192 events keeps the guard
+    // out of the per-event cost while bounding overshoot to milliseconds.
+    if (guard_wall_deadline_ns_ == 0) {
+      guard_wall_deadline_ns_ =
+          steady_now_ns() +
+          static_cast<std::int64_t>(guard_wall_budget_s_ * 1e9);
+    } else if ((processed_ & 0x1FFF) == 0 &&
+               steady_now_ns() > guard_wall_deadline_ns_) {
+      guard_abort("wall clock");
+    }
+  }
 }
 
 void Engine::run() {
@@ -17,6 +69,7 @@ void Engine::run() {
     queue_.pop();
     now_ = entry.t;
     ++processed_;
+    if (guard_armed_) check_guard();
     entry.fn();
   }
 }
@@ -28,6 +81,7 @@ void Engine::run_until(Time horizon) {
     queue_.pop();
     now_ = entry.t;
     ++processed_;
+    if (guard_armed_) check_guard();
     entry.fn();
   }
   if (now_ < horizon && !stopped_) now_ = horizon;

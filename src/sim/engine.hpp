@@ -4,16 +4,41 @@
 // time break by insertion order, which makes runs fully deterministic.
 // Cancellation is lazy: components that may need to invalidate an event
 // capture an epoch counter and no-op when it is stale (see sim::Node).
+//
+// Runaway guard: a scheduling bug (an event chain that reschedules itself
+// without making progress) used to spin run() forever. set_guard() arms an
+// event-count and/or wall-clock budget; exceeding either throws
+// EngineGuardError carrying the simulated time, the processed/pending
+// counts and — when a diagnostics source is attached (the tracer's
+// recent-event digest) — what the simulation was last doing.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/time.hpp"
 
 namespace wsched::sim {
+
+/// Thrown when an armed engine guard trips. The message carries the
+/// diagnostic; the fields allow programmatic inspection.
+class EngineGuardError : public std::runtime_error {
+ public:
+  EngineGuardError(const std::string& message, Time now,
+                   std::uint64_t processed, std::size_t pending)
+      : std::runtime_error(message),
+        now(now),
+        processed(processed),
+        pending(pending) {}
+
+  Time now;
+  std::uint64_t processed;
+  std::size_t pending;
+};
 
 class Engine {
  public:
@@ -38,6 +63,19 @@ class Engine {
   /// Makes run()/run_until() return after the current event completes.
   void stop() { stopped_ = true; }
 
+  /// Arms the runaway guard: abort (EngineGuardError) once more than
+  /// `max_events` events have been processed, or after `wall_budget_s`
+  /// real seconds inside run()/run_until(). Zero disables either limit
+  /// (both zero disarms the guard entirely — the default, costing one
+  /// predictable branch per event).
+  void set_guard(std::uint64_t max_events, double wall_budget_s = 0.0);
+
+  /// Attaches a context source whose string is appended to the guard's
+  /// abort message (e.g. the tracer's recent-event categories).
+  void set_guard_diagnostics(std::function<std::string()> fn) {
+    guard_diagnostics_ = std::move(fn);
+  }
+
  private:
   struct Entry {
     Time t;
@@ -51,11 +89,20 @@ class Engine {
     }
   };
 
+  void check_guard();
+  [[noreturn]] void guard_abort(const char* which);
+
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
   bool stopped_ = false;
+
+  bool guard_armed_ = false;
+  std::uint64_t guard_max_events_ = 0;
+  double guard_wall_budget_s_ = 0.0;
+  std::int64_t guard_wall_deadline_ns_ = 0;  ///< steady_clock epoch ns; 0 unset
+  std::function<std::string()> guard_diagnostics_;
 };
 
 }  // namespace wsched::sim

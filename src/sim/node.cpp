@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/counters.hpp"
+
 namespace wsched::sim {
 
 Node::Node(Engine& engine, const OsParams& os, NodeParams params, int id)
@@ -36,7 +38,18 @@ void Node::submit(Job job) {
 
   // "every CGI request requires the creation of a new process" — fork cost
   // is CPU work at the front of the first burst.
-  if (req.is_dynamic()) proc->cycles.front().cpu += os_.fork_overhead;
+  if (req.is_dynamic()) {
+    proc->cycles.front().cpu += os_.fork_overhead;
+    obs::bump(obs_.forks);
+  }
+  if (obs_.trace != nullptr) {
+    obs_.trace->async_begin(
+        obs::Category::kRequest, req.is_dynamic() ? "cgi" : "file", id_,
+        proc->job.id, engine_.now(),
+        {{"job", proc->job.id},
+         {"demand_s", to_seconds(req.service_demand)},
+         {"remote", proc->job.remote ? 1 : 0}});
+  }
 
   // Memory: grant the working set; shortfall becomes paging I/O spread
   // evenly over the cycles.
@@ -99,6 +112,11 @@ void Node::preempt_running() {
   proc->cpu_left -= std::min(proc->cpu_left, work_used);
   cpu_busy_ += wall_used;
   total_cpu_service_ += work_used;
+  obs::bump(obs_.preemptions);
+  if (obs_.trace != nullptr && wall_used > 0)
+    obs_.trace->span(obs::Category::kCpu, "cpu-slice", id_, obs::kLaneCpu,
+                     slice_start_, wall_used,
+                     {{"job", proc->job.id}, {"preempted", 1}});
   running_ = nullptr;
   ++cpu_epoch_;  // cancel the scheduled slice-end event
   cpu_sched_.enqueue(proc);
@@ -113,6 +131,7 @@ void Node::try_dispatch() {
   const Time cs = (proc == last_on_cpu_) ? 0 : os_.context_switch;
   cpu_busy_ += cs;
   total_context_switch_ += cs;
+  if (cs > 0) obs::bump(obs_.context_switches);
   last_on_cpu_ = proc;
 
   slice_start_ = engine_.now() + cs;
@@ -130,6 +149,11 @@ void Node::on_cpu_slice_end(std::uint64_t token) {
   proc->cpu_left -= std::min(proc->cpu_left, slice_work_);
   cpu_busy_ += cpu_wall(slice_work_);
   total_cpu_service_ += slice_work_;
+  obs::bump(obs_.cpu_slices);
+  if (obs_.trace != nullptr)
+    obs_.trace->span(obs::Category::kCpu, "cpu-slice", id_, obs::kLaneCpu,
+                     slice_start_, cpu_wall(slice_work_),
+                     {{"job", proc->job.id}});
   running_ = nullptr;
   ++cpu_epoch_;
 
@@ -168,6 +192,11 @@ void Node::on_disk_slice_end(std::uint64_t token) {
   proc->io_left -= std::min(proc->io_left, disk_slice_work_);
   disk_busy_ += disk_wall(disk_slice_work_);
   total_disk_service_ += disk_slice_work_;
+  obs::bump(obs_.disk_slices);
+  if (obs_.trace != nullptr)
+    obs_.trace->span(obs::Category::kDisk, "disk-slice", id_,
+                     obs::kLaneDisk, disk_slice_start_,
+                     disk_wall(disk_slice_work_), {{"job", proc->job.id}});
   disk_active_ = nullptr;
 
   if (proc->io_left > 0) {
@@ -202,6 +231,12 @@ void Node::complete(Process* proc) {
   }
   live_.pop_back();
 
+  if (obs_.trace != nullptr)
+    obs_.trace->async_end(
+        obs::Category::kRequest,
+        job.request.is_dynamic() ? "cgi" : "file", id_, job.id,
+        engine_.now(),
+        {{"response_s", to_seconds(engine_.now() - job.cluster_arrival)}});
   if (on_complete_) on_complete_(job, engine_.now());
 }
 
@@ -240,6 +275,10 @@ std::vector<Job> Node::crash() {
                           0.5));
     cpu_busy_ += cpu_wall(work_used);
     total_cpu_service_ += work_used;
+    if (obs_.trace != nullptr && work_used > 0)
+      obs_.trace->span(obs::Category::kCpu, "cpu-slice", id_, obs::kLaneCpu,
+                       slice_start_, cpu_wall(work_used),
+                       {{"job", running_->job.id}, {"crashed", 1}});
     running_ = nullptr;
   }
   ++cpu_epoch_;  // cancel the pending CPU slice-end event
@@ -263,6 +302,11 @@ std::vector<Job> Node::crash() {
   dropped.reserve(live_.size());
   for (auto& proc : live_) {
     memory_.release(proc->granted_pages);
+    if (obs_.trace != nullptr)
+      obs_.trace->async_end(
+          obs::Category::kRequest,
+          proc->job.request.is_dynamic() ? "cgi" : "file", id_,
+          proc->job.id, now, {{"dropped", 1}});
     dropped.push_back(std::move(proc->job));
   }
   live_.clear();

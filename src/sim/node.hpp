@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/cpu_sched.hpp"
 #include "sim/disk_sched.hpp"
 #include "sim/engine.hpp"
@@ -17,6 +18,19 @@
 #include "sim/process.hpp"
 
 namespace wsched::sim {
+
+/// Observability hooks one node reports into; every pointer may be null
+/// (the default), in which case the corresponding site is a single
+/// predictable branch. Counters are cluster-wide aggregates owned by the
+/// caller's obs::CounterRegistry.
+struct NodeObsHooks {
+  obs::TraceSink* trace = nullptr;
+  std::uint64_t* forks = nullptr;
+  std::uint64_t* context_switches = nullptr;
+  std::uint64_t* preemptions = nullptr;
+  std::uint64_t* cpu_slices = nullptr;
+  std::uint64_t* disk_slices = nullptr;
+};
 
 class Node {
  public:
@@ -31,6 +45,9 @@ class Node {
 
   /// Invoked when a job finishes all of its bursts.
   void set_completion_callback(CompletionFn fn) { on_complete_ = std::move(fn); }
+
+  /// Attaches tracing/counter hooks (all-null by default: zero effect).
+  void set_obs(const NodeObsHooks& hooks) { obs_ = hooks; }
 
   /// Accepts a job at the current engine time: charges fork overhead for
   /// dynamic requests, allocates memory (incurring paging I/O on
@@ -68,6 +85,14 @@ class Node {
   Time disk_busy_until(Time now) const;
 
   std::size_t live_processes() const { return live_.size(); }
+  /// Runnable processes, the one on the CPU included (probe metric).
+  std::size_t run_queue_length() const {
+    return cpu_sched_.size() + (running_ != nullptr ? 1 : 0);
+  }
+  /// Disk-queued processes, the in-flight slice included (probe metric).
+  std::size_t disk_queue_length() const {
+    return disk_sched_.size() + (disk_active_ != nullptr ? 1 : 0);
+  }
   std::uint64_t completed() const { return completed_; }
   const MemoryManager& memory() const { return memory_; }
   const NodeParams& params() const { return params_; }
@@ -126,6 +151,7 @@ class Node {
 
   bool tick_active_ = false;
 
+  NodeObsHooks obs_;
   CompletionFn on_complete_;
 
   Time cpu_busy_ = 0;   ///< completed busy wall time (incl. switches)

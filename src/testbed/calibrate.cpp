@@ -4,6 +4,8 @@
 #include <array>
 #include <chrono>
 
+#include "obs/log.hpp"
+
 namespace wsched::testbed {
 
 std::uint64_t SpinCalibration::spin_iterations(std::uint64_t iterations) {
@@ -43,6 +45,8 @@ const SpinCalibration& SpinCalibration::shared() {
     std::array<double, 3> rates{};
     for (double& rate : rates) rate = measure(150).iterations_per_second();
     std::sort(rates.begin(), rates.end());
+    obs::logf(obs::LogLevel::kInfo, "testbed",
+              "spin calibration: %.3g iterations/s (median of 3)", rates[1]);
     return SpinCalibration(rates[1]);
   }();
   return instance;

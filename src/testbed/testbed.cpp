@@ -15,6 +15,7 @@
 
 #include "core/load.hpp"
 #include "core/reservation.hpp"
+#include "obs/log.hpp"
 #include "testbed/calibrate.hpp"
 #include "util/rng.hpp"
 
@@ -330,6 +331,9 @@ TestbedResult run_testbed(const TestbedConfig& config,
   const double latency_c = config.remote_latency_s / comp;
 
   const SpinCalibration& spin = SpinCalibration::shared();
+  obs::logf(obs::LogLevel::kInfo, "testbed",
+            "replaying %zu records on p=%d m=%d (compression %.0fx)",
+            trace.records.size(), config.p, config.m, comp);
 
   SharedState shared;
   shared.load.assign(static_cast<std::size_t>(config.p), core::LoadInfo{});
@@ -476,6 +480,10 @@ TestbedResult run_testbed(const TestbedConfig& config,
   result.metrics = shared.metrics->summary();
   result.completed = trace.records.size();
   result.wall_seconds = DoubleSec(Clock::now() - start).count();
+  obs::logf(obs::LogLevel::kInfo, "testbed",
+            "replay finished: %llu completions in %.2fs wall",
+            static_cast<unsigned long long>(result.completed),
+            result.wall_seconds);
   return result;
 }
 

@@ -79,9 +79,31 @@ TEST(Metrics, ResponsePercentiles) {
     metrics.record(job_with(0, kMillisecond, false),
                    i * kMillisecond);
   const core::MetricsSummary s = metrics.summary();
+  EXPECT_NEAR(s.p50_response_s, 0.050, 0.002);
   EXPECT_NEAR(s.p95_response_s, 0.095, 0.002);
   EXPECT_NEAR(s.p99_response_s, 0.099, 0.002);
   EXPECT_NEAR(s.mean_response_s, 0.0505, 0.001);
+}
+
+TEST(Metrics, PerClassPercentileSplit) {
+  core::MetricsCollector metrics(0, 0);
+  // Static responses cluster at 1..100 ms; dynamic at 1..2 s — the split
+  // must keep the two populations apart instead of blending them.
+  for (int i = 1; i <= 100; ++i) {
+    metrics.record(job_with(0, kMillisecond, false), i * kMillisecond);
+    metrics.record(job_with(0, kMillisecond, true),
+                   i * 20 * kMillisecond);
+  }
+  const core::MetricsSummary s = metrics.summary();
+  EXPECT_NEAR(s.p50_response_static_s, 0.050, 0.002);
+  EXPECT_NEAR(s.p95_response_static_s, 0.095, 0.002);
+  EXPECT_NEAR(s.p99_response_static_s, 0.099, 0.002);
+  EXPECT_NEAR(s.p50_response_dynamic_s, 1.0, 0.04);
+  EXPECT_NEAR(s.p95_response_dynamic_s, 1.9, 0.04);
+  EXPECT_NEAR(s.p99_response_dynamic_s, 1.98, 0.04);
+  // The combined percentile blends both populations.
+  EXPECT_GT(s.p95_response_s, s.p95_response_static_s);
+  EXPECT_LT(s.p50_response_s, s.p50_response_dynamic_s);
 }
 
 // Property sweep: for any (w, demand, speed) the node conserves service

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Validate a wsched Chrome trace_event JSON artifact (and optionally a
+probe CSV) without loading it into a viewer.
+
+Checks the invariants Perfetto / chrome://tracing rely on:
+
+  * the file parses as JSON and is {"traceEvents": [...]}
+  * every event is an object with a non-empty "name", a known phase
+    ("X", "i", "C", "b", "e", "M") and an integer "pid"
+  * non-metadata events carry a known "cat" and a non-negative "ts"
+  * complete spans ("X") carry a non-negative "dur"
+  * instants ("i") carry a scope "s"; async begin/end ("b"/"e") carry "id"
+  * async begins and ends balance per (cat, id)
+
+Usage:
+  tools/check_trace.py TRACE.json [--probes PROBES.csv]
+                       [--require-phase X --require-phase C ...]
+
+Exits 0 and prints a one-line summary per artifact on success; exits 1
+with a diagnostic on the first violation.
+"""
+
+import argparse
+import collections
+import csv
+import json
+import sys
+
+PHASES = {"X", "i", "C", "b", "e", "M"}
+CATEGORIES = {
+    "request", "dispatch", "cpu", "disk", "memory",
+    "fault", "reservation", "probe", "log",
+}
+PROBE_HEADER = ["t_s", "node", "metric", "value"]
+CLUSTER_METRICS = {"a_hat", "r_hat", "theta_limit", "master_fraction"}
+
+
+def fail(message):
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path, required_phases):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"{path}: {error}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f'{path}: top level must be an object with "traceEvents"')
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents must be a non-empty array")
+
+    phase_counts = collections.Counter()
+    pids = set()
+    async_depth = collections.Counter()
+    for index, event in enumerate(events):
+        where = f"{path}: event {index}"
+        if not isinstance(event, dict):
+            fail(f"{where}: not an object")
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"{where}: missing or empty name")
+        phase = event.get("ph")
+        if phase not in PHASES:
+            fail(f"{where} ({name}): bad phase {phase!r}")
+        pid = event.get("pid")
+        if not isinstance(pid, int):
+            fail(f"{where} ({name}): missing integer pid")
+        phase_counts[phase] += 1
+        pids.add(pid)
+        if phase == "M":
+            continue
+        if event.get("cat") not in CATEGORIES:
+            fail(f"{where} ({name}): bad category {event.get('cat')!r}")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"{where} ({name}): bad ts {ts!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"{where} ({name}): bad dur {dur!r}")
+        elif phase == "i":
+            if "s" not in event:
+                fail(f"{where} ({name}): instant without scope")
+        elif phase in ("b", "e"):
+            if "id" not in event:
+                fail(f"{where} ({name}): async event without id")
+            key = (event.get("cat"), event["id"])
+            async_depth[key] += 1 if phase == "b" else -1
+            if async_depth[key] < 0:
+                fail(f"{where} ({name}): async end before begin for {key}")
+
+    for phase in required_phases:
+        if phase_counts[phase] == 0:
+            fail(f"{path}: no {phase!r} events (required)")
+    # Dropped requests legitimately leave unmatched begins; an excess of
+    # ends can never be legitimate and is caught per-event above.
+    open_spans = sum(1 for depth in async_depth.values() if depth > 0)
+    summary = " ".join(
+        f"{phase}={phase_counts[phase]}" for phase in sorted(phase_counts))
+    print(f"check_trace: OK: {path}: {len(events)} events, "
+          f"{len(pids)} pids, {summary}, open_async={open_spans}")
+
+
+def check_probes(path):
+    try:
+        with open(path, encoding="utf-8", newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header != PROBE_HEADER:
+                fail(f"{path}: header {header} != {PROBE_HEADER}")
+            rows = 0
+            metrics = set()
+            for row in reader:
+                if len(row) != len(PROBE_HEADER):
+                    fail(f"{path}: row {rows + 2} has {len(row)} fields")
+                float(row[0])  # t_s
+                int(row[1])    # node
+                float(row[3])  # value
+                metrics.add(row[2])
+                rows += 1
+    except OSError as error:
+        fail(f"{path}: {error}")
+    except ValueError as error:
+        fail(f"{path}: non-numeric field: {error}")
+    if rows == 0:
+        fail(f"{path}: no samples")
+    missing = CLUSTER_METRICS - metrics
+    if missing:
+        fail(f"{path}: missing cluster metrics {sorted(missing)}")
+    print(f"check_trace: OK: {path}: {rows} samples, "
+          f"{len(metrics)} metric series")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace_event JSON file")
+    parser.add_argument("--probes", help="probe CSV to validate too")
+    parser.add_argument(
+        "--require-phase", action="append", default=[],
+        metavar="PH", help="fail unless the trace has PH events")
+    options = parser.parse_args()
+    check_trace(options.trace, options.require_phase)
+    if options.probes:
+        check_probes(options.probes)
+
+
+if __name__ == "__main__":
+    main()
