@@ -7,6 +7,7 @@
 #include "core/cache.hpp"
 #include "fault/membership.hpp"
 #include "obs/log.hpp"
+#include "overload/backoff.hpp"
 #include "util/rng.hpp"
 
 namespace wsched::core {
@@ -50,6 +51,7 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     tracer->name_process(cluster_pid, "cluster");
     tracer->name_thread(cluster_pid, obs::kLaneDispatch, "dispatch");
     tracer->name_thread(cluster_pid, obs::kLaneControl, "control");
+    tracer->name_thread(cluster_pid, obs::kLaneOverload, "overload");
   }
   // Counter handles resolve once here; a null registry leaves every handle
   // null and obs::bump a no-op.
@@ -64,6 +66,11 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
   std::uint64_t* c_timeouts = counter("fault.timeouts");
   std::uint64_t* c_promotions = counter("fault.promotions");
   std::uint64_t* c_reservation_updates = counter("reservation.updates");
+  std::uint64_t* c_shed = counter("overload.shed");
+  std::uint64_t* c_overload_retries = counter("overload.retries");
+  std::uint64_t* c_abandoned = counter("overload.abandoned");
+  std::uint64_t* c_breaker_trips = counter("overload.breaker_trips");
+  std::uint64_t* c_degraded_entries = counter("overload.degraded_entries");
 
   sim::NodeObsHooks node_hooks;
   node_hooks.trace = tracer;
@@ -181,15 +188,53 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
   MetricsCollector metrics(config_.warmup, config_.os.fork_overhead);
   if (config_.metrics_tail_start > 0)
     metrics.set_tail_start(config_.metrics_tail_start);
+  if (config_.overload.deadline.any())
+    metrics.set_deadlines(from_seconds(config_.overload.deadline.static_s),
+                          from_seconds(config_.overload.deadline.dynamic_s));
 
   std::uint64_t remaining = trace.records.size();
   std::uint64_t completed_jobs = 0;
   RunResult result;
   result.submitted = trace.records.size();
 
-  for (auto& node : nodes) {
-    node->set_completion_callback(
-        [&](const sim::Job& job, Time completion) {
+  // --- overload-control layer (absent when every knob sits at its
+  // disabled default: the run is bit-identical to a build without it) ---
+  const bool overload_on = config_.overload.any();
+  std::optional<overload::OverloadController> overload;
+  if (overload_on) {
+    overload.emplace(engine, node_ptrs, config_.overload, config_.seed);
+    overload::OverloadHooks hooks;
+    hooks.trace = tracer;
+    hooks.cluster_pid = cluster_pid;
+    hooks.shed = c_shed;
+    hooks.retries = c_overload_retries;
+    hooks.abandoned = c_abandoned;
+    hooks.breaker_trips = c_breaker_trips;
+    hooks.degraded_entries = c_degraded_entries;
+    overload->set_hooks(hooks);
+    // Degraded static-only mode clamps the reservation: masters stop
+    // accepting dynamic work entirely until the detector restores.
+    overload->set_on_degraded(
+        [&](bool degraded) { reservation.set_degraded(degraded); });
+    // Abandonment is terminal: the request leaves the system here.
+    overload->set_on_abandon([&](std::uint64_t) {
+      if (--remaining == 0) engine.stop();
+    });
+    view.breakers = overload->breakers();
+  }
+  // Failover re-dispatch delays follow the shared backoff curve; the
+  // dedicated stream keeps every other consumer's draws untouched, and a
+  // jitter-free (or fault-free) run draws nothing from it.
+  Rng fault_backoff_rng(config_.seed, 0xFA11B0FF);
+
+  for (int i = 0; i < config_.p; ++i) {
+    nodes[static_cast<std::size_t>(i)]->set_completion_callback(
+        [&, i](const sim::Job& job, Time completion) {
+          // on_complete closes deadline tracking and feeds the breaker /
+          // admission signals; false flags a completion racing an
+          // already-counted abandonment, which must not be counted twice.
+          if (overload_on && !overload->on_complete(job, i, completion))
+            return;
           ++completed_jobs;
           metrics.record(job, completion);
           reservation.record_completion(job.request.is_dynamic(),
@@ -206,16 +251,17 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
   }
 
   // Failover: a job stranded by a crash (in flight on the node, or routed
-  // to it before the failure was detected) is re-dispatched with linear
-  // backoff, each hop charged the remote-dispatch latency; past the retry
-  // cap it is counted as timed out — never silently lost. Only invoked
-  // when the fault layer is active.
+  // to it before the failure was detected) is re-dispatched with the
+  // shared backoff curve, each hop charged the remote-dispatch latency;
+  // past the retry cap it is counted as timed out — never silently lost.
+  // Only invoked when the fault layer is active.
   std::function<void(sim::Job)> redispatch;
   if (faults_on) {
     redispatch = [&](sim::Job job) {
       job.disrupted = true;
       ++job.attempts;
       if (static_cast<int>(job.attempts) > config_.fault.max_redispatch) {
+        if (overload_on) overload->forget(job.id);
         ++timeouts;
         obs::bump(c_timeouts);
         if (tracer != nullptr)
@@ -239,10 +285,15 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
             obs::kLaneDispatch, engine.now(),
             {{"job", job.id},
              {"attempts", static_cast<std::uint64_t>(job.attempts)}});
-      const Time delay = config_.fault.redispatch_backoff *
-                             static_cast<Time>(job.attempts) +
-                         config_.os.remote_cgi_latency;
+      if (overload_on) overload->note_waiting(job.id);
+      const Time delay =
+          overload::backoff_delay(config_.fault.redispatch_backoff,
+                                  job.attempts, &fault_backoff_rng) +
+          config_.os.remote_cgi_latency;
       engine.schedule_after(delay, [&, job]() mutable {
+        // The client may have abandoned the job during the backoff wait;
+        // it was already counted, just drop it here.
+        if (overload_on && overload->consume_abandoned(job.id)) return;
         if (health->healthy_count() == 0) {
           // Total outage at retry time: go around again (and eventually
           // time out at the cap).
@@ -262,14 +313,23 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
             node_ptrs[static_cast<std::size_t>(decision.node)];
         if (!target->alive()) {
           // Crashed again (or still undetected): burn another retry.
+          if (overload_on) overload->note_dispatch_failure(decision.node);
           redispatch(std::move(job));
           return;
+        }
+        if (overload_on) {
+          overload->note_dispatch(decision.node);
+          overload->note_on_node(job.id, decision.node);
         }
         target->submit(std::move(job));
       });
     };
-    injector->set_on_crash([&](int, std::vector<sim::Job> dropped) {
-      for (sim::Job& job : dropped) redispatch(std::move(job));
+    injector->set_on_crash([&](int node, std::vector<sim::Job> dropped) {
+      for (sim::Job& job : dropped) {
+        // Each stranded request is one failed dispatch for the breaker.
+        if (overload_on) overload->note_dispatch_failure(node);
+        redispatch(std::move(job));
+      }
     });
   }
 
@@ -278,6 +338,7 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     health->start();
     injector->start();
   }
+  if (overload_on) overload->start();
 
   // Periodic theta'_2 recomputation, running as long as work remains.
   std::function<void()> reservation_tick = [&] {
@@ -332,42 +393,24 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     engine.schedule_after(probes->interval(), probe_tick);
   }
 
-  // Arrival cursor: submits record i, then schedules record i+1. Keeps the
-  // event heap small regardless of trace length.
-  std::uint64_t next_id = 1;
-  std::size_t cursor = 0;
-  std::function<void()> deliver = [&] {
-    const trace::TraceRecord& rec = trace.records[cursor];
-    if (faults_on && health->healthy_count() == 0) {
-      // Total outage: no declared-healthy front end can accept the
-      // request; hold it in the failover queue (it retries with backoff
-      // and times out at the cap if the outage persists).
-      sim::Job held;
-      held.id = next_id++;
-      held.request = rec;
-      held.cluster_arrival = engine.now();
-      redispatch(std::move(held));
-      ++cursor;
-      if (cursor < trace.records.size())
-        engine.schedule_at(trace.records[cursor].arrival, deliver);
-      return;
-    }
+  // Routes one admitted job and hands it to the chosen node (charging the
+  // remote hop when needed). Shared by first dispatch and by client
+  // retries of shed requests, so both take the identical path.
+  auto route_and_submit = [&](sim::Job job) {
+    const trace::TraceRecord& rec = job.request;
     view.now = engine.now();
     Decision decision = dispatcher_->route(rec, view);
     if (decision.node < 0 || decision.node >= config_.p)
       throw std::out_of_range("dispatcher routed outside the cluster");
-    sim::Job job;
-    job.id = next_id++;
-    job.request = rec;
-    job.cluster_arrival = engine.now();
     job.receiver = decision.receiver;
     if (faults_on && injector->any_down()) job.disrupted = true;
+    const bool was_dynamic = rec.is_dynamic();
 
     // CGI-cache extension: the receiving master can serve a fresh cached
     // response as a plain file fetch, bypassing CGI execution entirely.
     bool cache_hit = false;
-    if (cache_on && rec.is_dynamic()) obs::bump(c_cache_lookups);
-    if (cache_on && rec.is_dynamic() &&
+    if (cache_on && was_dynamic) obs::bump(c_cache_lookups);
+    if (cache_on && was_dynamic &&
         caches[static_cast<std::size_t>(decision.receiver)].lookup(
             rec.url_id, engine.now())) {
       cache_hit = true;
@@ -375,14 +418,14 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
       decision.node = decision.receiver;
       decision.remote = false;
       decision.rsrc_w = -1.0;
+      const std::uint64_t size_bytes = rec.size_bytes;
       job.request.cls = trace::RequestClass::kStatic;
       // Serve cost of the stored response: same size-coupled model the
       // generator uses for files (15027 bytes is the SPECweb96 mix mean).
       job.request.service_demand = from_seconds(
-          (0.3 + 0.7 * rec.size_bytes / 15027.0) / config_.cache_hit_mu);
+          (0.3 + 0.7 * size_bytes / 15027.0) / config_.cache_hit_mu);
       job.request.cpu_fraction = 0.4;
-      job.request.mem_pages =
-          rec.size_bytes / config_.os.page_bytes + 1;
+      job.request.mem_pages = size_bytes / config_.os.page_bytes + 1;
     }
     job.remote = decision.remote;
     obs::bump(c_requests);
@@ -395,35 +438,128 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
                        {"receiver", decision.receiver},
                        {"node", decision.node},
                        {"remote", decision.remote ? 1 : 0},
-                       {"dynamic", rec.is_dynamic() ? 1 : 0}});
-    if (!cache_hit && decision.rsrc_w >= 0.0 && rec.is_dynamic())
+                       {"dynamic", was_dynamic ? 1 : 0}});
+    if (!cache_hit && decision.rsrc_w >= 0.0 && was_dynamic)
       feedbacks[static_cast<std::size_t>(decision.receiver)].on_dispatch(
           static_cast<std::size_t>(decision.node), decision.rsrc_w);
     sim::Node* target = node_ptrs[static_cast<std::size_t>(decision.node)];
-    if (decision.remote && rec.is_dynamic()) {
-      if (faults_on) {
+    const int target_idx = decision.node;
+    if (overload_on) overload->note_dispatch(target_idx);
+    if (decision.remote && job.request.is_dynamic()) {
+      if (overload_on) overload->note_waiting(job.id);
+      if (faults_on || overload_on) {
         // The target may die during the dispatch hop (or already be dead
         // but undetected); the landing check routes the job into failover.
-        engine.schedule_after(config_.os.remote_cgi_latency,
-                              [&, target, job] {
-                                if (target->alive()) {
-                                  target->submit(job);
-                                } else {
-                                  redispatch(job);
-                                }
-                              });
+        // The client may also abandon it mid-hop.
+        engine.schedule_after(
+            config_.os.remote_cgi_latency, [&, target, target_idx, job] {
+              if (overload_on && overload->consume_abandoned(job.id)) return;
+              if (target->alive()) {
+                if (overload_on) overload->note_on_node(job.id, target_idx);
+                target->submit(job);
+              } else {
+                if (overload_on)
+                  overload->note_dispatch_failure(target_idx);
+                redispatch(job);
+              }
+            });
       } else {
         engine.schedule_after(config_.os.remote_cgi_latency,
                               [target, job] { target->submit(job); });
       }
     } else if (faults_on && !target->alive()) {
+      if (overload_on) overload->note_dispatch_failure(target_idx);
       redispatch(job);
     } else {
+      if (overload_on) overload->note_on_node(job.id, target_idx);
       target->submit(job);
     }
-    ++cursor;
-    if (cursor < trace.records.size())
-      engine.schedule_at(trace.records[cursor].arrival, deliver);
+  };
+
+  // Load shedding: a shed request is retried by the client with the shared
+  // backoff curve up to max_retries times, then counted shed for good —
+  // never silently lost. Each retry is a fresh arrival at the front end
+  // (re-judged by the admission policy).
+  std::function<void(sim::Job, const char*)> shed_retry;
+  if (overload_on) {
+    shed_retry = [&](sim::Job job, const char* reason) {
+      if (view.decisions != nullptr) {
+        obs::DecisionRecord record;
+        record.at = engine.now();
+        record.dynamic = job.request.is_dynamic();
+        record.receiver = -1;
+        record.chosen = -1;
+        record.remote = false;
+        record.w = -1.0;
+        record.reason = reason;
+        view.decisions->record(std::move(record));
+      }
+      if (static_cast<int>(job.attempts) >= config_.overload.max_retries) {
+        overload->count_shed(job.id);
+        obs::logf(obs::LogLevel::kDebug, "overload",
+                  "t=%.3fs job %llu shed for good (%s, %u retries)",
+                  to_seconds(engine.now()),
+                  static_cast<unsigned long long>(job.id), reason,
+                  job.attempts);
+        if (--remaining == 0) engine.stop();
+        return;
+      }
+      ++job.attempts;
+      overload->count_retry(job.id);
+      overload->note_waiting(job.id);
+      const Time delay = overload::backoff_delay(
+          config_.overload.retry_backoff, job.attempts,
+          &overload->retry_rng());
+      engine.schedule_after(delay, [&, job]() mutable {
+        if (overload->consume_abandoned(job.id)) return;
+        if (faults_on && health->healthy_count() == 0) {
+          redispatch(std::move(job));
+          return;
+        }
+        const char* again = overload->shed_reason(job.request.is_dynamic());
+        if (again != nullptr) {
+          shed_retry(std::move(job), again);
+          return;
+        }
+        route_and_submit(std::move(job));
+      });
+    };
+  }
+
+  // Arrival cursor: submits record i, then schedules record i+1. Keeps the
+  // event heap small regardless of trace length.
+  std::uint64_t next_id = 1;
+  std::size_t cursor = 0;
+  std::function<void()> deliver = [&] {
+    const trace::TraceRecord& rec = trace.records[cursor];
+    const auto schedule_next = [&] {
+      ++cursor;
+      if (cursor < trace.records.size())
+        engine.schedule_at(trace.records[cursor].arrival, deliver);
+    };
+    sim::Job job;
+    job.id = next_id++;
+    job.request = rec;
+    job.cluster_arrival = engine.now();
+    if (overload_on) overload->arm_deadline(job);
+    if (faults_on && health->healthy_count() == 0) {
+      // Total outage: no declared-healthy front end can accept the
+      // request; hold it in the failover queue (it retries with backoff
+      // and times out at the cap if the outage persists).
+      redispatch(std::move(job));
+      schedule_next();
+      return;
+    }
+    if (overload_on) {
+      const char* reason = overload->shed_reason(rec.is_dynamic());
+      if (reason != nullptr) {
+        shed_retry(std::move(job), reason);
+        schedule_next();
+        return;
+      }
+    }
+    route_and_submit(std::move(job));
+    schedule_next();
   };
   if (!trace.records.empty())
     engine.schedule_at(trace.records.front().arrival, deliver);
@@ -442,6 +578,20 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     result.timeouts = timeouts;
     result.promotions = membership->promotions();
   }
+  if (overload_on) {
+    result.shed = overload->shed_count();
+    result.abandoned = overload->abandoned_count();
+    result.overload_retries = overload->retry_count();
+    result.breaker_trips = overload->breaker_trips();
+    result.degraded_entries = overload->degraded_entries();
+    result.degraded_seconds = to_seconds(overload->degraded_time(end));
+  }
+  // Goodput: in-SLO completions per second of measured simulated time
+  // (plain throughput when no deadline is configured).
+  const double measured_s = result.sim_seconds - to_seconds(config_.warmup);
+  if (measured_s > 0.0)
+    result.goodput_rps =
+        static_cast<double>(result.metrics.completed_in_slo) / measured_s;
   result.node_cpu_utilization.reserve(nodes.size());
   result.node_disk_utilization.reserve(nodes.size());
   double cpu_sum = 0.0, disk_sum = 0.0;

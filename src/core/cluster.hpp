@@ -18,6 +18,7 @@
 #include "core/reservation.hpp"
 #include "fault/fault.hpp"
 #include "obs/observer.hpp"
+#include "overload/overload.hpp"
 #include "sim/engine.hpp"
 #include "sim/node.hpp"
 #include "trace/record.hpp"
@@ -53,6 +54,12 @@ struct ClusterConfig {
   /// default; a disabled fault layer leaves the run bit-identical to one
   /// without the subsystem.
   fault::FaultConfig fault;
+  /// Overload control: deadlines/abandonment, admission (load shedding),
+  /// circuit breakers, degraded static-only mode (see
+  /// overload::OverloadConfig). Every knob at its disabled default keeps
+  /// the controller out of the run entirely — bit-identical to a build
+  /// without the subsystem.
+  overload::OverloadConfig overload;
   /// Optional tail-window start for MetricsSummary::stretch_tail
   /// (<= 0 disables); used to measure post-failover recovery.
   Time metrics_tail_start = 0;
@@ -92,6 +99,16 @@ struct RunResult {
   std::uint64_t redispatches = 0;  ///< failover re-dispatch hops taken
   std::uint64_t timeouts = 0;      ///< requests dropped at the retry cap
   std::uint64_t promotions = 0;    ///< slaves promoted to master
+  /// Overload-control statistics (defaults when the subsystem is off).
+  std::uint64_t shed = 0;              ///< requests rejected at admission
+  std::uint64_t abandoned = 0;         ///< requests past their deadline
+  std::uint64_t overload_retries = 0;  ///< client retries of shed requests
+  std::uint64_t breaker_trips = 0;     ///< breaker open / re-open events
+  std::uint64_t degraded_entries = 0;  ///< degraded-mode entries
+  double degraded_seconds = 0.0;       ///< total time degraded
+  /// Completions inside their SLO per second of measured (post-warmup)
+  /// simulated time — the headline graceful-degradation metric.
+  double goodput_rps = 0.0;
 };
 
 class ClusterSim {

@@ -76,6 +76,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   config.warmup = from_seconds(spec.warmup_s);
   config.load_sample_period = from_seconds(spec.load_sample_period_s);
   config.fault = spec.fault;
+  config.overload = spec.overload;
   if (spec.metrics_tail_start_s > 0.0)
     config.metrics_tail_start = from_seconds(spec.metrics_tail_start_s);
   config.node_params = spec.node_params;

@@ -42,6 +42,10 @@ struct ExperimentSpec {
   /// Fault injection & failover (disabled by default — see
   /// fault::FaultConfig); passed through to the cluster unchanged.
   fault::FaultConfig fault;
+  /// Overload control (deadlines, shedding, breakers, degraded mode;
+  /// disabled by default — see overload::OverloadConfig); passed through
+  /// to the cluster unchanged.
+  overload::OverloadConfig overload;
   /// Tail-window start (seconds) for MetricsSummary::stretch_tail;
   /// <= 0 disables. Used to measure post-failover recovery.
   double metrics_tail_start_s = 0.0;

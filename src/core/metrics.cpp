@@ -20,17 +20,25 @@ void MetricsCollector::record(const sim::Job& job, Time completion) {
   stretch_all_.add(stretch);
   response_all_.add(response_s);
   response_pct_.add(response_s);
+  stretch_pct_.add(stretch);
   if (job.disrupted) stretch_disrupted_.add(stretch);
   if (tail_enabled_ && job.cluster_arrival >= tail_start_)
     stretch_tail_.add(stretch);
+  const Time deadline = dynamic ? dynamic_deadline_ : static_deadline_;
+  const bool in_slo = deadline <= 0 || response <= deadline;
+  if (in_slo) ++in_slo_;
   if (dynamic) {
     stretch_dynamic_.add(stretch);
     response_dynamic_.add(response_s);
     response_pct_dynamic_.add(response_s);
+    stretch_pct_dynamic_.add(stretch);
+    if (in_slo) ++in_slo_dynamic_;
   } else {
     stretch_static_.add(stretch);
     response_static_.add(response_s);
     response_pct_static_.add(response_s);
+    stretch_pct_static_.add(stretch);
+    if (in_slo) ++in_slo_static_;
   }
 }
 
@@ -59,6 +67,17 @@ MetricsSummary MetricsCollector::summary() const {
   s.stretch_disrupted = stretch_disrupted_.mean();
   s.completed_tail = stretch_tail_.count();
   s.stretch_tail = stretch_tail_.mean();
+  s.p95_stretch = stretch_pct_.percentile(0.95);
+  s.p95_stretch_static = stretch_pct_static_.percentile(0.95);
+  s.p95_stretch_dynamic = stretch_pct_dynamic_.percentile(0.95);
+  s.completed_in_slo = in_slo_;
+  const auto ratio = [](std::uint64_t hit, std::uint64_t total) {
+    return total == 0 ? 1.0
+                      : static_cast<double>(hit) / static_cast<double>(total);
+  };
+  s.slo_attainment = ratio(in_slo_, s.completed);
+  s.slo_attainment_static = ratio(in_slo_static_, s.completed_static);
+  s.slo_attainment_dynamic = ratio(in_slo_dynamic_, s.completed_dynamic);
   return s;
 }
 

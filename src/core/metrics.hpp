@@ -46,6 +46,17 @@ struct MetricsSummary {
   /// (used to measure recovery: post-failover stretch vs. a clean run).
   std::uint64_t completed_tail = 0;
   double stretch_tail = 0.0;
+  /// Tail-of-distribution stretch: under overload the mean is dominated by
+  /// the shed survivors, so the p95 is what the admission policies defend.
+  double p95_stretch = 0.0;
+  double p95_stretch_static = 0.0;
+  double p95_stretch_dynamic = 0.0;
+  /// SLO attainment (overload layer): fraction of completed requests whose
+  /// response beat the per-class deadline. 1.0 when no deadline configured.
+  std::uint64_t completed_in_slo = 0;
+  double slo_attainment = 1.0;
+  double slo_attainment_static = 1.0;
+  double slo_attainment_dynamic = 1.0;
 };
 
 class MetricsCollector {
@@ -68,11 +79,23 @@ class MetricsCollector {
     tail_enabled_ = true;
   }
 
+  /// Per-class SLO deadlines for attainment accounting; 0 disables a class
+  /// (every completion of that class counts as in-SLO).
+  void set_deadlines(Time static_deadline, Time dynamic_deadline) {
+    static_deadline_ = static_deadline;
+    dynamic_deadline_ = dynamic_deadline;
+  }
+
  private:
   Time warmup_;
   Time fork_overhead_;
   Time tail_start_ = 0;
   bool tail_enabled_ = false;
+  Time static_deadline_ = 0;
+  Time dynamic_deadline_ = 0;
+  std::uint64_t in_slo_ = 0;
+  std::uint64_t in_slo_static_ = 0;
+  std::uint64_t in_slo_dynamic_ = 0;
   RunningStats stretch_all_;
   RunningStats stretch_static_;
   RunningStats stretch_dynamic_;
@@ -84,6 +107,9 @@ class MetricsCollector {
   PercentileSampler response_pct_;
   PercentileSampler response_pct_static_;
   PercentileSampler response_pct_dynamic_;
+  PercentileSampler stretch_pct_;
+  PercentileSampler stretch_pct_static_;
+  PercentileSampler stretch_pct_dynamic_;
 };
 
 }  // namespace wsched::core

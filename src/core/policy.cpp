@@ -91,7 +91,20 @@ class FlatDispatcher final : public Dispatcher {
       return decision;
     }
     // DNS/switch baseline: uniformly random node, executed where received.
-    const int node = random_in(*view.rng, view.p);
+    // With circuit breakers the pool shrinks to the admitted nodes; an
+    // untripped bank yields the full range, so the draw is unchanged.
+    int node;
+    if (view.breakers != nullptr) {
+      healthy_.clear();
+      for (int n = 0; n < view.p; ++n)
+        if (view.node_healthy(n)) healthy_.push_back(n);
+      if (healthy_.empty())
+        for (int n = 0; n < view.p; ++n) healthy_.push_back(n);
+      node = healthy_[static_cast<std::size_t>(
+          random_in(*view.rng, static_cast<int>(healthy_.size())))];
+    } else {
+      node = random_in(*view.rng, view.p);
+    }
     const Decision decision{node, false, -1.0, node};
     log_decision(view, decision, request.is_dynamic(), "flat-random");
     return decision;
@@ -115,8 +128,21 @@ class MsDispatcher final : public Dispatcher {
     if (view.reservation != nullptr)
       view.reservation->record_arrival(request.is_dynamic());
 
-    // The front end spreads requests uniformly over the masters.
-    const int receiver = random_in(*view.rng, masters);
+    // The front end spreads requests uniformly over the masters (breaker-
+    // admitted masters when the bank is wired in; an untripped bank yields
+    // the full range, preserving the draw).
+    int receiver;
+    if (view.breakers != nullptr) {
+      masters_.clear();
+      for (int n = 0; n < masters; ++n)
+        if (view.node_healthy(n)) masters_.push_back(n);
+      if (masters_.empty())
+        for (int n = 0; n < masters; ++n) masters_.push_back(n);
+      receiver = masters_[static_cast<std::size_t>(random_in(
+          *view.rng, static_cast<int>(masters_.size())))];
+    } else {
+      receiver = random_in(*view.rng, masters);
+    }
     if (!request.is_dynamic()) {
       // "Static requests are processed locally at masters."
       const Decision decision{receiver, false, -1.0, receiver};
@@ -139,8 +165,10 @@ class MsDispatcher final : public Dispatcher {
 
     candidates_.clear();
     if (masters_allowed)
-      for (int n = 0; n < masters; ++n) candidates_.push_back(n);
-    for (int n = masters; n < view.p; ++n) candidates_.push_back(n);
+      for (int n = 0; n < masters; ++n)
+        if (view.node_healthy(n)) candidates_.push_back(n);
+    for (int n = masters; n < view.p; ++n)
+      if (view.node_healthy(n)) candidates_.push_back(n);
     if (candidates_.empty())
       for (int n = 0; n < view.p; ++n) candidates_.push_back(n);
 
@@ -293,14 +321,28 @@ class MsPrimeDispatcher final : public Dispatcher {
                    &seen);
       return decision;
     }
-    const int receiver = random_in(*view.rng, view.p);
+    int receiver;
+    if (view.breakers != nullptr) {
+      healthy_.clear();
+      for (int n = 0; n < view.p; ++n)
+        if (view.node_healthy(n)) healthy_.push_back(n);
+      if (healthy_.empty())
+        for (int n = 0; n < view.p; ++n) healthy_.push_back(n);
+      receiver = healthy_[static_cast<std::size_t>(random_in(
+          *view.rng, static_cast<int>(healthy_.size())))];
+    } else {
+      receiver = random_in(*view.rng, view.p);
+    }
     if (!request.is_dynamic()) {
       const Decision decision{receiver, false, -1.0, receiver};
       log_decision(view, decision, false, "static-spread");
       return decision;
     }
     candidates_.clear();
-    for (int n = 0; n < k; ++n) candidates_.push_back(n);
+    for (int n = 0; n < k; ++n)
+      if (view.node_healthy(n)) candidates_.push_back(n);
+    if (candidates_.empty())
+      for (int n = 0; n < k; ++n) candidates_.push_back(n);
     const std::vector<LoadInfo>& seen = view.load_seen_by(receiver);
     const std::size_t pick = pick_min_rsrc(request.cpu_fraction, candidates_,
                                            seen, *view.rng);

@@ -26,6 +26,7 @@
 #include "fault/health.hpp"
 #include "fault/membership.hpp"
 #include "obs/decision_log.hpp"
+#include "overload/breaker.hpp"
 #include "sim/params.hpp"
 #include "trace/record.hpp"
 #include "util/rng.hpp"
@@ -58,6 +59,11 @@ struct ClusterView {
   /// consulting ground truth.
   const fault::Membership* membership = nullptr;
   const std::vector<fault::NodeHealth>* health = nullptr;
+  /// Per-node circuit breakers (overload layer; null when disabled). An
+  /// open breaker removes the node from candidate pools through the same
+  /// node_healthy gate the failover layer uses, so policies need no
+  /// breaker-specific code.
+  overload::BreakerBank* breakers = nullptr;
 
   // --- observability (all null by default: no effect, no cost beyond one
   //     branch per decision) ---
@@ -79,11 +85,15 @@ struct ClusterView {
 
   bool fault_aware() const { return membership != nullptr; }
 
-  /// Declared-healthy check; always true without the failover layer.
+  /// Declared-healthy check; always true without the failover layer. An
+  /// open circuit breaker also fails it (and an open breaker past its
+  /// cooldown transitions to half-open here, admitting one probe).
   bool node_healthy(int node) const {
-    return health == nullptr ||
-           (*health)[static_cast<std::size_t>(node)] ==
-               fault::NodeHealth::kHealthy;
+    if (health != nullptr &&
+        (*health)[static_cast<std::size_t>(node)] !=
+            fault::NodeHealth::kHealthy)
+      return false;
+    return breakers == nullptr || breakers->admits(node, now);
   }
 };
 

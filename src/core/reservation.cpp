@@ -57,7 +57,7 @@ void ReservationController::set_membership(int p, int m) {
     throw std::invalid_argument("reservation: need 0 <= m <= p");
   config_.p = p;
   config_.m = m;
-  if (m == 0) {
+  if (m == 0 || degraded_) {
     theta_limit_ = 0.0;
     return;
   }
@@ -74,7 +74,7 @@ void ReservationController::update() {
     r_hat_ = std::clamp(static_resp_.value() / dynamic_resp_.value(),
                         config_.r_min, config_.r_max);
   }
-  theta_limit_ = config_.m == 0
+  theta_limit_ = (config_.m == 0 || degraded_)
                      ? 0.0
                      : theta_limit_for(config_.p, config_.m, r_hat_, a_hat_);
 }

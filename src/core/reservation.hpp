@@ -86,6 +86,20 @@ class ReservationController {
   /// Convenience for tests/diagnostics: any admission possible right now?
   bool master_allowed() const { return master_admission() > 0.0; }
 
+  /// Degraded static-only mode (overload layer): while set, the effective
+  /// limit is clamped to zero — masters accept no dynamic work at all, the
+  /// full reservation defends static traffic. The underlying theta'_2 and
+  /// the r_hat / a_hat estimators keep updating so restore is seamless.
+  void set_degraded(bool degraded) {
+    degraded_ = degraded;
+    if (degraded_) {
+      theta_limit_ = 0.0;
+    } else {
+      update();
+    }
+  }
+  bool degraded() const { return degraded_; }
+
   /// The naive binary gate (fraction strictly below the limit), kept for
   /// the ablation study of the tapered admission.
   bool binary_gate_open() const { return master_fraction_ < theta_limit_; }
@@ -110,6 +124,7 @@ class ReservationController {
   double theta_limit_ = 0.0;
   double master_fraction_ = 0.0;
   bool routing_primed_ = false;
+  bool degraded_ = false;
 };
 
 }  // namespace wsched::core

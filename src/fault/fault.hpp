@@ -22,6 +22,7 @@
 
 #include "fault/health.hpp"
 #include "obs/trace.hpp"
+#include "overload/backoff.hpp"
 #include "sim/engine.hpp"
 #include "sim/node.hpp"
 #include "util/rng.hpp"
@@ -73,11 +74,14 @@ struct FaultConfig {
 
   /// Failover: a request stranded by a crash (in flight on the node, or
   /// landing on it before detection) is re-dispatched up to
-  /// `max_redispatch` times with linear backoff, each hop charged the
-  /// remote-CGI dispatch latency; beyond the cap it is counted as timed
-  /// out, never silently lost.
+  /// `max_redispatch` times, each hop charged the remote-CGI dispatch
+  /// latency; beyond the cap it is counted as timed out, never silently
+  /// lost. The re-dispatch delay follows the shared overload-layer backoff
+  /// curve (default: capped exponential with jitter drawn from a dedicated
+  /// deterministic stream). The pre-overload linear ramp is one preset
+  /// away: `overload::BackoffConfig::linear(50 * kMillisecond)`.
   int max_redispatch = 4;
-  Time redispatch_backoff = 50 * kMillisecond;
+  overload::BackoffConfig redispatch_backoff;
 };
 
 class FaultInjector {

@@ -24,6 +24,30 @@ BenchCli::BenchCli(int argc, const char* const* argv)
   } else {
     obs::init_log_from_env();
   }
+  // Benches quarantine broken points (EngineGuardError and friends) into
+  // SweepRun::failures instead of aborting a long sweep on one bad
+  // configuration; library callers keep fail-fast semantics by default.
+  options.quarantine = true;
+  overload.deadline.static_s = args.get_double("deadline-static", 0.0);
+  overload.deadline.dynamic_s = args.get_double("deadline-dynamic", 0.0);
+  overload.admission.policy =
+      overload::parse_admission_policy(args.get("shed-policy", "none"));
+  overload.admission.max_queue =
+      args.get_double("shed-queue", overload.admission.max_queue);
+  overload.admission.max_utilization =
+      args.get_double("shed-util", overload.admission.max_utilization);
+  overload.admission.stretch_target =
+      args.get_double("shed-target", overload.admission.stretch_target);
+  overload.breaker.enabled = args.get_bool("breakers", false);
+  overload.saturation.enabled = args.get_bool("degraded-mode", false);
+  overload.max_retries = static_cast<int>(
+      args.get_int("overload-retries", overload.max_retries));
+  overload_set =
+      args.has("deadline-static") || args.has("deadline-dynamic") ||
+      args.has("shed-policy") || args.has("shed-queue") ||
+      args.has("shed-util") || args.has("shed-target") ||
+      args.has("breakers") || args.has("degraded-mode") ||
+      args.has("overload-retries");
 }
 
 namespace {
@@ -78,19 +102,24 @@ std::optional<SweepRun> run_bench(const SweepSpec& spec, const BenchCli& cli,
   // With several points, file paths are suffixed by grid index so parallel
   // evaluation never interleaves writers.
   EvalFn wrapped = eval;
-  if (cli.obs.any()) {
+  if (cli.obs.any() || cli.overload_set) {
     std::size_t filtered = 0;
     for (const GridPoint& point : expand(spec))
       if (matches_filters(point.id, cli.options.filters)) ++filtered;
     const bool multi = filtered > 1;
     wrapped = [&eval, &cli, multi](const GridPoint& point) {
       GridPoint traced = point;
-      traced.spec.obs = obs_for_point(cli.obs, point.index, multi);
+      if (cli.obs.any())
+        traced.spec.obs = obs_for_point(cli.obs, point.index, multi);
+      if (cli.overload_set) traced.spec.overload = cli.overload;
       return eval(traced);
     };
   }
 
   SweepRun run = run_sweep(spec, cli.options, wrapped);
+  for (const SweepFailure& failure : run.failures)
+    std::fprintf(stderr, "quarantined point %zu (%s): %s\n", failure.index,
+                 failure.id.c_str(), failure.error.c_str());
 
   const std::string stem = artifact_stem(spec, cli);
   if (!stem.empty()) {

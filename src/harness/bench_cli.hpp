@@ -21,6 +21,20 @@
 //   --log LEVEL          structured-diagnostics verbosity
 //                        (off|warn|info|debug; also via WSCHED_LOG)
 //
+// Overload knobs (any one present injects an overload::OverloadConfig
+// into every evaluated point; all absent leaves the subsystem off):
+//
+//   --deadline-static S  client abandons static requests after S seconds
+//   --deadline-dynamic S same for dynamic requests
+//   --shed-policy P      admission policy: none|queue|util|stretch
+//   --shed-queue N       queue policy: mean per-node queue threshold
+//   --shed-util U        util policy: shed ramp start (cpu utilization)
+//   --shed-target S      stretch policy: static-stretch SLO target
+//   --breakers           enable per-node circuit breakers
+//   --degraded-mode      enable the saturation detector / degraded
+//                        static-only mode
+//   --overload-retries N client retries of shed requests
+//
 // Bench-specific flags stay available through `args`.
 #pragma once
 
@@ -46,6 +60,11 @@ struct BenchCli {
   /// --decision-log; run_bench applies it to every evaluated point (with
   /// per-point path suffixes so concurrent points never share a file).
   obs::ObsConfig obs;
+  /// Overload request from the --deadline-*/--shed-*/--breakers/
+  /// --degraded-mode/--overload-retries flags; applied to every evaluated
+  /// point when `overload_set` (any of those flags present).
+  overload::OverloadConfig overload;
+  bool overload_set = false;
 };
 
 /// Artifact path stem for one sweep under --out (empty when --out unset).

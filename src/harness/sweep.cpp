@@ -112,6 +112,8 @@ SweepRun run_sweep(const SweepSpec& spec, const SweepOptions& options,
       run.points.push_back(std::move(point));
 
   run.rows.resize(run.points.size());
+  std::vector<std::string> errors(run.points.size());
+  std::vector<char> failed(run.points.size(), 0);
   ThreadPool pool(options.jobs < 0 ? 1
                                    : static_cast<std::size_t>(options.jobs));
   parallel_for(pool, run.points.size(), [&](std::size_t i) {
@@ -119,10 +121,39 @@ SweepRun run_sweep(const SweepSpec& spec, const SweepOptions& options,
     row.set("point", static_cast<long long>(run.points[i].index));
     for (const auto& [name, label] : run.points[i].coords)
       row.set(name, label);
-    row.merge(eval(run.points[i]));
+    if (options.quarantine) {
+      try {
+        row.merge(eval(run.points[i]));
+      } catch (const std::exception& e) {
+        failed[i] = 1;
+        errors[i] = e.what();
+        return;
+      }
+    } else {
+      row.merge(eval(run.points[i]));
+    }
     run.rows[i] = std::move(row);
   });
   pool.wait();
+  if (options.quarantine) {
+    // Compact the survivors in place, grid order preserved; failed points
+    // move to the failures ledger.
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < run.points.size(); ++i) {
+      if (failed[i]) {
+        run.failures.push_back(
+            {run.points[i].index, run.points[i].id, std::move(errors[i])});
+        continue;
+      }
+      if (out != i) {
+        run.points[out] = std::move(run.points[i]);
+        run.rows[out] = std::move(run.rows[i]);
+      }
+      ++out;
+    }
+    run.points.resize(out);
+    run.rows.resize(out);
+  }
   return run;
 }
 
@@ -161,7 +192,20 @@ void append_metrics(ResultRow& row, const core::ExperimentResult& result) {
            static_cast<unsigned long long>(m.completed_disrupted))
       .set("theta_limit", result.run.theta_limit)
       .set("a_hat", result.run.a_hat)
-      .set("r_hat", result.run.r_hat);
+      .set("r_hat", result.run.r_hat)
+      .set("goodput_rps", result.run.goodput_rps)
+      .set("slo_attainment", m.slo_attainment)
+      .set("p95_stretch", m.p95_stretch)
+      .set("p95_stretch_static", m.p95_stretch_static)
+      .set("shed", static_cast<unsigned long long>(result.run.shed))
+      .set("abandoned",
+           static_cast<unsigned long long>(result.run.abandoned))
+      .set("overload_retries",
+           static_cast<unsigned long long>(result.run.overload_retries))
+      .set("breaker_trips",
+           static_cast<unsigned long long>(result.run.breaker_trips))
+      .set("degraded_entries",
+           static_cast<unsigned long long>(result.run.degraded_entries));
 }
 
 }  // namespace wsched::harness

@@ -105,18 +105,34 @@ bool matches_filters(const std::string& id,
 struct SweepOptions {
   int jobs = 1;  ///< worker threads; 0 = hardware_concurrency
   std::vector<std::string> filters;
+  /// Quarantine mode: a point whose evaluation throws (e.g. an
+  /// EngineGuardError from a runaway configuration) is recorded in
+  /// SweepRun::failures and excluded from the rows instead of aborting the
+  /// whole sweep. Off by default: exceptions propagate.
+  bool quarantine = false;
+};
+
+/// One evaluation failure captured under SweepOptions::quarantine.
+struct SweepFailure {
+  std::size_t index = 0;  ///< row-major grid index of the failed point
+  std::string id;         ///< the point's axis=label/... identifier
+  std::string error;      ///< exception message
 };
 
 struct SweepRun {
   std::vector<GridPoint> points;  ///< filtered, in grid order
   std::vector<ResultRow> rows;    ///< coordinates + evaluation, same order
+  /// Quarantined points, in grid order (always empty unless
+  /// SweepOptions::quarantine was set).
+  std::vector<SweepFailure> failures;
 };
 
 using EvalFn = std::function<ResultRow(const GridPoint&)>;
 
 /// Expands, filters, evaluates every point on a ThreadPool(jobs), and
 /// returns rows in point order with the point coordinates prepended.
-/// Evaluation exceptions propagate (the first one, via ThreadPool::wait).
+/// Evaluation exceptions propagate (the first one, via ThreadPool::wait)
+/// unless options.quarantine diverts them into SweepRun::failures.
 SweepRun run_sweep(const SweepSpec& spec, const SweepOptions& options,
                    const EvalFn& eval);
 

@@ -47,7 +47,8 @@ enum Lane : int {
   kLaneDisk = 2,
   kLaneFault = 3,
   kLaneDispatch = 4,
-  kLaneControl = 5,  ///< reservation / probe / log events
+  kLaneControl = 5,   ///< reservation / probe / log events
+  kLaneOverload = 6,  ///< shedding / abandonment / breaker / degraded mode
 };
 
 /// One "key=value" argument attached to an event. Numeric when `text`

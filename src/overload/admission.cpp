@@ -1,0 +1,99 @@
+#include "overload/admission.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wsched::overload {
+
+const char* to_string(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kNone: return "none";
+    case AdmissionPolicy::kQueueDepth: return "queue";
+    case AdmissionPolicy::kUtilization: return "util";
+    case AdmissionPolicy::kStretchTarget: return "stretch";
+  }
+  return "?";
+}
+
+AdmissionPolicy parse_admission_policy(const std::string& name) {
+  if (name == "none" || name.empty()) return AdmissionPolicy::kNone;
+  if (name == "queue") return AdmissionPolicy::kQueueDepth;
+  if (name == "util") return AdmissionPolicy::kUtilization;
+  if (name == "stretch") return AdmissionPolicy::kStretchTarget;
+  throw std::invalid_argument("unknown admission policy: " + name);
+}
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_(config),
+      queue_(config.signal_alpha),
+      util_(config.signal_alpha),
+      stretch_(config.signal_alpha) {}
+
+void AdmissionController::on_signal(double mean_queue, double utilization) {
+  queue_.add(mean_queue);
+  util_.add(utilization);
+}
+
+void AdmissionController::on_static_completion(double stretch) {
+  stretch_.add(stretch);
+}
+
+double AdmissionController::probability_scaled(double factor) const {
+  switch (config_.policy) {
+    case AdmissionPolicy::kNone:
+      return 0.0;
+    case AdmissionPolicy::kQueueDepth:
+      return queue_signal() > config_.max_queue * factor ? 1.0 : 0.0;
+    case AdmissionPolicy::kUtilization: {
+      const double threshold = std::min(config_.max_utilization * factor,
+                                        1.0 - 1e-9);
+      return std::clamp((util_signal() - threshold) / (1.0 - threshold),
+                        0.0, 1.0);
+    }
+    case AdmissionPolicy::kStretchTarget: {
+      const double target = config_.stretch_target * factor;
+      if (target <= 0.0) return 0.0;
+      const double span = std::max(config_.stretch_full - 1.0, 1e-9);
+      return std::clamp((stretch_signal() / target - 1.0) / span, 0.0, 1.0);
+    }
+  }
+  return 0.0;
+}
+
+double AdmissionController::shed_probability(bool dynamic) const {
+  if (config_.policy == AdmissionPolicy::kNone) return 0.0;
+  if (dynamic) return probability_scaled(1.0);
+  if (config_.static_factor <= 0.0) return 0.0;
+  return probability_scaled(config_.static_factor);
+}
+
+SaturationDetector::SaturationDetector(const SaturationConfig& config)
+    : config_(config), signal_(config.signal_alpha) {}
+
+int SaturationDetector::on_signal(double mean_queue, Time now) {
+  signal_.add(mean_queue);
+  const double value = signal_.value();
+  const Time dwell = from_seconds(config_.min_dwell_s);
+  // The dwell clock only gates switches *after* the first one: a cluster
+  // that saturates immediately should not wait out a dwell that never
+  // started.
+  const bool dwell_ok = !switched_once_ || now - last_switch_ >= dwell;
+  if (!degraded_ && value >= config_.enter_queue && dwell_ok) {
+    degraded_ = true;
+    entered_at_ = now;
+    last_switch_ = now;
+    switched_once_ = true;
+    ++entries_;
+    return +1;
+  }
+  if (degraded_ && value <= config_.exit_queue && dwell_ok) {
+    degraded_ = false;
+    accumulated_ += now - entered_at_;
+    last_switch_ = now;
+    switched_once_ = true;
+    return -1;
+  }
+  return 0;
+}
+
+}  // namespace wsched::overload

@@ -1,0 +1,32 @@
+#include "overload/backoff.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wsched::overload {
+
+Time backoff_delay(const BackoffConfig& config, std::uint32_t attempt,
+                   Rng* rng) {
+  if (attempt == 0) attempt = 1;
+  double delay;
+  switch (config.kind) {
+    case BackoffKind::kLinear:
+      delay = static_cast<double>(config.base) * attempt;
+      break;
+    case BackoffKind::kExponential:
+      delay = static_cast<double>(config.base) *
+              std::pow(config.multiplier, static_cast<double>(attempt - 1));
+      break;
+    default:
+      throw std::invalid_argument("backoff: unknown kind");
+  }
+  if (config.max > 0) delay = std::min(delay, static_cast<double>(config.max));
+  if (config.jitter > 0.0) {
+    if (rng == nullptr)
+      throw std::invalid_argument("backoff: jitter needs an Rng");
+    delay *= 1.0 + config.jitter * (2.0 * rng->uniform() - 1.0);
+  }
+  return delay < 1.0 ? 1 : static_cast<Time>(delay + 0.5);
+}
+
+}  // namespace wsched::overload

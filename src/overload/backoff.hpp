@@ -1,0 +1,50 @@
+// Retry backoff policy shared by the overload controller's client retries
+// and the fault layer's failover redispatch.
+//
+// The default is capped exponential backoff with symmetric jitter — the
+// standard defense against retry synchronization: a shed or stranded
+// request waits base * multiplier^(attempt-1), clamped to `max`, spread by
+// +/- `jitter` so a burst of simultaneous rejections does not return as a
+// burst of simultaneous retries. Jitter draws come from a caller-owned Rng
+// stream, so runs stay deterministic in the seed and a policy with
+// jitter = 0 consumes no randomness at all.
+//
+// The pre-overload fault layer used plain linear backoff (step * attempt);
+// BackoffConfig::linear(step) reproduces it exactly, delay for delay.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace wsched::overload {
+
+enum class BackoffKind : std::uint8_t {
+  kLinear,       ///< base * attempt (the legacy fault-layer policy)
+  kExponential,  ///< base * multiplier^(attempt-1), clamped to max
+};
+
+struct BackoffConfig {
+  BackoffKind kind = BackoffKind::kExponential;
+  Time base = 50 * kMillisecond;
+  double multiplier = 2.0;
+  /// Delay ceiling before jitter; 0 = uncapped.
+  Time max = 2 * kSecond;
+  /// Symmetric jitter fraction in [0, 1): the computed delay is scaled by
+  /// a uniform factor in [1 - jitter, 1 + jitter). 0 draws no randomness.
+  double jitter = 0.1;
+
+  /// The legacy linear policy (step * attempt, no cap, no jitter).
+  static BackoffConfig linear(Time step) {
+    return BackoffConfig{BackoffKind::kLinear, step, 1.0, 0, 0.0};
+  }
+};
+
+/// Delay before retry number `attempt` (1-based). `rng` is consulted only
+/// when config.jitter > 0; passing nullptr with jitter configured is an
+/// error.
+Time backoff_delay(const BackoffConfig& config, std::uint32_t attempt,
+                   Rng* rng);
+
+}  // namespace wsched::overload

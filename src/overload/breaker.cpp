@@ -1,0 +1,97 @@
+#include "overload/breaker.hpp"
+
+namespace wsched::overload {
+
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+void CircuitBreaker::trip(Time now) {
+  state_ = BreakerState::kOpen;
+  opened_at_ = now;
+  consecutive_failures_ = 0;
+  bad_queue_rounds_ = 0;
+  probe_in_flight_ = false;
+  ++trips_;
+}
+
+bool CircuitBreaker::admits(Time now) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now - opened_at_ < from_seconds(config_->cooldown_s)) return false;
+      state_ = BreakerState::kHalfOpen;
+      probe_in_flight_ = false;
+      return true;
+    case BreakerState::kHalfOpen:
+      return !probe_in_flight_;
+  }
+  return true;
+}
+
+void CircuitBreaker::note_dispatch() {
+  if (state_ == BreakerState::kHalfOpen) probe_in_flight_ = true;
+}
+
+void CircuitBreaker::note_success() {
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe came back: restore the node.
+    state_ = BreakerState::kClosed;
+    probe_in_flight_ = false;
+    bad_queue_rounds_ = 0;
+  }
+}
+
+void CircuitBreaker::note_failure(Time now) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (++consecutive_failures_ >= config_->failure_threshold) trip(now);
+      break;
+    case BreakerState::kHalfOpen:
+      trip(now);  // the probe failed: back to open, cooldown restarts
+      break;
+    case BreakerState::kOpen:
+      break;  // stragglers landing on an already-open breaker
+  }
+}
+
+void CircuitBreaker::note_queue_depth(double depth, Time now) {
+  if (config_->queue_trip <= 0.0) return;
+  // Queues only matter for closed breakers: an open node receives no new
+  // work, so its backlog draining (or not) is judged by the half-open
+  // probe, not by this path.
+  if (state_ != BreakerState::kClosed) return;
+  if (depth > config_->queue_trip) {
+    if (++bad_queue_rounds_ >= config_->queue_trip_rounds) trip(now);
+  } else {
+    bad_queue_rounds_ = 0;
+  }
+}
+
+BreakerBank::BreakerBank(int p, const BreakerConfig& config)
+    : config_(config) {
+  breakers_.reserve(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) breakers_.emplace_back(config_);
+}
+
+std::uint64_t BreakerBank::trips() const {
+  std::uint64_t total = 0;
+  for (const CircuitBreaker& breaker : breakers_) total += breaker.trips();
+  return total;
+}
+
+int BreakerBank::tripped_count() const {
+  int count = 0;
+  for (const CircuitBreaker& breaker : breakers_)
+    if (breaker.state() != BreakerState::kClosed) ++count;
+  return count;
+}
+
+}  // namespace wsched::overload

@@ -1,0 +1,104 @@
+// Per-node circuit breakers.
+//
+// A breaker shields the cluster from a node that keeps failing dispatches
+// (crashed but undetected, crash-looping) or that has built up a queue it
+// will not drain soon. The state machine is the classic three-state one:
+//
+//   closed    — node admitted normally. `failure_threshold` consecutive
+//               dispatch failures, or `queue_trip_rounds` consecutive
+//               signal rounds with the node's queue above `queue_trip`,
+//               trip it open.
+//   open      — node excluded from candidate pools. After `cooldown_s`
+//               the breaker moves to half-open on the next admission
+//               probe.
+//   half-open — exactly one probe request is admitted; its completion
+//               closes the breaker, another dispatch failure (or renewed
+//               queue buildup) re-opens it.
+//
+// Breakers feed the same health view the dispatcher already consults
+// (ClusterView::node_healthy), so policies need no breaker-specific code.
+// All transitions are driven by calls from the cluster — no RNG, no own
+// events — so an enabled-but-never-tripped breaker bank leaves a run
+// bit-identical to one without breakers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace wsched::overload {
+
+struct BreakerConfig {
+  bool enabled = false;
+  /// Consecutive dispatch failures that trip the breaker.
+  int failure_threshold = 3;
+  /// Queue-buildup trip: node run+disk queue depth that counts as a bad
+  /// signal round; 0 disables the queue path.
+  double queue_trip = 0.0;
+  /// Consecutive bad signal rounds before the queue path trips.
+  int queue_trip_rounds = 5;
+  /// Open -> half-open delay.
+  double cooldown_s = 1.0;
+};
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+const char* to_string(BreakerState state);
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(const BreakerConfig& config) : config_(&config) {}
+
+  /// True when a request may be routed to this node. An open breaker past
+  /// its cooldown transitions to half-open here and admits one probe.
+  bool admits(Time now);
+
+  /// A request was actually routed to the node (marks the half-open probe
+  /// as in flight).
+  void note_dispatch();
+  /// A request completed on the node.
+  void note_success();
+  /// A dispatch to the node failed (dead on landing, crash-dropped work).
+  void note_failure(Time now);
+  /// One periodic signal round: the node's current run+disk queue depth.
+  void note_queue_depth(double depth, Time now);
+
+  BreakerState state() const { return state_; }
+  std::uint64_t trips() const { return trips_; }
+
+ private:
+  void trip(Time now);
+
+  const BreakerConfig* config_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int bad_queue_rounds_ = 0;
+  bool probe_in_flight_ = false;
+  Time opened_at_ = 0;
+  std::uint64_t trips_ = 0;
+};
+
+/// One breaker per node, indexed by node id.
+class BreakerBank {
+ public:
+  BreakerBank(int p, const BreakerConfig& config);
+
+  bool admits(int node, Time now) {
+    return breakers_[static_cast<std::size_t>(node)].admits(now);
+  }
+  CircuitBreaker& node(int node) {
+    return breakers_[static_cast<std::size_t>(node)];
+  }
+
+  /// Total trips across all nodes (open and re-open events).
+  std::uint64_t trips() const;
+  /// Nodes currently not closed (open or half-open).
+  int tripped_count() const;
+
+ private:
+  BreakerConfig config_;
+  std::vector<CircuitBreaker> breakers_;
+};
+
+}  // namespace wsched::overload

@@ -50,6 +50,25 @@ Time CpuScheduler::decayed(Time p_cpu, int load) const {
          (2 * static_cast<Time>(load) + 1);
 }
 
+bool CpuScheduler::remove(Process* proc) {
+  // The process sits at the level implied by its current p_cpu (enqueue
+  // and rebucket_all keep buckets in sync with it); scan the others too as
+  // a defensive fallback.
+  const auto expected = static_cast<std::size_t>(level_of(*proc));
+  for (std::size_t offset = 0; offset < levels_.size(); ++offset) {
+    const std::size_t lvl = (expected + offset) % levels_.size();
+    auto& level = levels_[lvl];
+    for (auto it = level.begin(); it != level.end(); ++it) {
+      if (*it != proc) continue;
+      level.erase(it);
+      if (level.empty()) nonempty_mask_ &= ~(1ULL << lvl);
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
 void CpuScheduler::clear() {
   for (auto& level : levels_) level.clear();
   nonempty_mask_ = 0;

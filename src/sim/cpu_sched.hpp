@@ -51,6 +51,10 @@ class CpuScheduler {
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
 
+  /// Removes one queued process wherever it sits (client abandonment).
+  /// Returns false when the process is not queued here.
+  bool remove(Process* proc);
+
   /// Drops every queued process (node crash).
   void clear();
 

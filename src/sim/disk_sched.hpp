@@ -39,6 +39,17 @@ class DiskScheduler {
   bool empty() const { return ring_.empty(); }
   std::size_t size() const { return ring_.size(); }
 
+  /// Removes one queued process from the ring (client abandonment).
+  /// Returns false when the process is not queued here.
+  bool remove(Process* proc) {
+    for (auto it = ring_.begin(); it != ring_.end(); ++it) {
+      if (*it != proc) continue;
+      ring_.erase(it);
+      return true;
+    }
+    return false;
+  }
+
   /// Drops every queued process (node crash); the owners are reclaimed by
   /// the Node's live table, so no cleanup per process is needed here.
   void clear() { ring_.clear(); }

@@ -259,6 +259,92 @@ void Node::on_tick() {
   engine_.schedule_after(os_.priority_update_period, [this] { on_tick(); });
 }
 
+bool Node::abort(std::uint64_t job_id) {
+  assert(alive_);
+  Process* proc = nullptr;
+  for (const auto& owned : live_) {
+    if (owned->job.id == job_id) {
+      proc = owned.get();
+      break;
+    }
+  }
+  if (proc == nullptr) return false;
+
+  const Time now = engine_.now();
+  bool was_running = false;
+  bool was_disk_active = false;
+  switch (proc->state) {
+    case ProcState::kReady: {
+      const bool removed = cpu_sched_.remove(proc);
+      assert(removed);
+      (void)removed;
+      break;
+    }
+    case ProcState::kRunning: {
+      assert(running_ == proc);
+      // Same pro-rata slice charge as preemption, so busy accounting stays
+      // monotone.
+      const Time wall_used = std::max<Time>(0, now - slice_start_);
+      const Time work_used = std::min(
+          slice_work_,
+          static_cast<Time>(static_cast<double>(wall_used) *
+                                params_.cpu_speed * cpu_degr_ +
+                            0.5));
+      cpu_busy_ += cpu_wall(work_used);
+      total_cpu_service_ += work_used;
+      if (obs_.trace != nullptr && work_used > 0)
+        obs_.trace->span(obs::Category::kCpu, "cpu-slice", id_,
+                         obs::kLaneCpu, slice_start_, cpu_wall(work_used),
+                         {{"job", job_id}, {"aborted", 1}});
+      running_ = nullptr;
+      ++cpu_epoch_;  // cancel the pending CPU slice-end event
+      was_running = true;
+      break;
+    }
+    case ProcState::kDiskQueued: {
+      const bool removed = disk_sched_.remove(proc);
+      assert(removed);
+      (void)removed;
+      break;
+    }
+    case ProcState::kDiskActive: {
+      assert(disk_active_ == proc);
+      const Time wall_used = std::max<Time>(0, now - disk_slice_start_);
+      const Time work_used = std::min(
+          disk_slice_work_,
+          static_cast<Time>(static_cast<double>(wall_used) *
+                                params_.disk_speed * disk_degr_ +
+                            0.5));
+      disk_busy_ += disk_wall(work_used);
+      total_disk_service_ += work_used;
+      disk_active_ = nullptr;
+      ++disk_epoch_;  // cancel the pending disk slice-end event
+      was_disk_active = true;
+      break;
+    }
+    case ProcState::kDone:
+      return false;  // completing this instant; nothing left to free
+  }
+
+  memory_.release(proc->granted_pages);
+  if (obs_.trace != nullptr)
+    obs_.trace->async_end(obs::Category::kRequest,
+                          proc->job.request.is_dynamic() ? "cgi" : "file",
+                          id_, job_id, now, {{"abandoned", 1}});
+  if (last_on_cpu_ == proc) last_on_cpu_ = nullptr;
+  const std::size_t idx = proc->live_index;
+  assert(idx < live_.size() && live_[idx].get() == proc);
+  if (idx + 1 != live_.size()) {
+    live_[idx] = std::move(live_.back());
+    live_[idx]->live_index = idx;
+  }
+  live_.pop_back();
+
+  if (was_running) try_dispatch();
+  if (was_disk_active) try_disk();
+  return true;
+}
+
 std::vector<Job> Node::crash() {
   assert(alive_);
   alive_ = false;

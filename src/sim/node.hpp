@@ -55,6 +55,13 @@ class Node {
   /// Precondition: the node is alive (callers must check `alive()`).
   void submit(Job job);
 
+  /// Client abandonment (overload layer): removes the process executing
+  /// `job_id` wherever it sits — ready queue, CPU, disk ring or disk head —
+  /// releases its memory and charges any partially-run slice pro rata. The
+  /// completion callback does NOT fire. Returns false when no live process
+  /// carries the id.
+  bool abort(std::uint64_t job_id);
+
   // --- fault model (driven by fault::FaultInjector) ---
 
   bool alive() const { return alive_; }

@@ -302,6 +302,36 @@ TEST(ClusterFault, TotalOutageTimesOutInsteadOfLosingRequests) {
   EXPECT_LT(result.run.availability, 1.0);
 }
 
+TEST(ClusterFault, RedispatchCapBoundsAttemptsExactly) {
+  // Permanent total outage: every request still in the system (and every
+  // later arrival) hops the failover path exactly max_redispatch times and
+  // is then counted timed out — so the two counters are in exact ratio.
+  core::ExperimentSpec spec = fault_spec(core::SchedulerKind::kMs);
+  spec.duration_s = 5.0;
+  spec.fault.enabled = true;
+  spec.fault.max_redispatch = 2;
+  // Pin the legacy linear backoff preset: the cap accounting must be
+  // independent of the delay curve, and this exercises the config path
+  // that reproduces the pre-overload fault layer delay for delay.
+  spec.fault.redispatch_backoff =
+      overload::BackoffConfig::linear(50 * kMillisecond);
+  for (int node = 0; node < spec.p; ++node)
+    spec.fault.script.push_back(
+        {3 * kSecond, node, fault::FaultKind::kCrash, 1.0, 1.0});
+  const core::ExperimentResult result = core::run_experiment(spec);
+  EXPECT_GT(result.run.timeouts, 0u);
+  EXPECT_EQ(result.run.redispatches, 2 * result.run.timeouts);
+  EXPECT_EQ(result.run.completed + result.run.timeouts,
+            result.run.submitted);
+
+  // A zero cap times out stranded work immediately, no failover hops.
+  spec.fault.max_redispatch = 0;
+  const core::ExperimentResult none = core::run_experiment(spec);
+  EXPECT_GT(none.run.timeouts, 0u);
+  EXPECT_EQ(none.run.redispatches, 0u);
+  EXPECT_EQ(none.run.completed + none.run.timeouts, none.run.submitted);
+}
+
 TEST(ClusterFault, SlaveCrashRecoversThroughChurn) {
   // A slave bounces: dies at 2.5 s, returns at 4 s. Nearly everything
   // should complete (stranded work re-dispatches onto healthy nodes).

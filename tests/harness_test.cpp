@@ -179,5 +179,33 @@ TEST(RunSweep, EvalExceptionPropagatesFromWait) {
                std::runtime_error);
 }
 
+TEST(RunSweep, QuarantineRecordsFailedPointsAndKeepsTheRest) {
+  // With quarantine on, a point whose evaluation throws (a guard-tripped
+  // runaway configuration, say) lands in SweepRun::failures instead of
+  // aborting the sweep; the surviving rows keep grid order and the stable
+  // schema.
+  SweepSpec sweep;
+  sweep.axes = {lambda_axis({1, 2, 3})};
+  SweepOptions options;
+  options.jobs = 2;
+  options.quarantine = true;
+  const SweepRun run =
+      run_sweep(sweep, options, [](const GridPoint& point) -> ResultRow {
+        if (point.id == "lambda=2")
+          throw std::runtime_error("engine guard: too many events");
+        ResultRow row;
+        row.set("ok", 1);
+        return row;
+      });
+  ASSERT_EQ(run.failures.size(), 1u);
+  EXPECT_EQ(run.failures[0].index, 1u);
+  EXPECT_EQ(run.failures[0].id, "lambda=2");
+  EXPECT_EQ(run.failures[0].error, "engine guard: too many events");
+  ASSERT_EQ(run.rows.size(), 2u);
+  EXPECT_EQ(run.rows[0].text("lambda"), "1");
+  EXPECT_EQ(run.rows[1].text("lambda"), "3");
+  EXPECT_EQ(run.points.size(), 2u);
+}
+
 }  // namespace
 }  // namespace wsched::harness

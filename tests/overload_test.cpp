@@ -1,0 +1,452 @@
+// Overload-control subsystem tests: backoff policies (exponential growth,
+// cap, jitter bounds and determinism, legacy linear parity), the circuit
+// breaker state machine (failure/queue trips, half-open probing, restore),
+// saturation-detector hysteresis and dwell, the reservation's degraded
+// clamp, and full cluster runs exercising deadlines with client
+// abandonment, each shedding policy, retry accounting, breaker trips under
+// faults, degraded-mode entries, inert-config metric identity, and seed
+// determinism with the whole stack on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/cluster.hpp"
+#include "core/experiment.hpp"
+#include "core/reservation.hpp"
+#include "fault/fault.hpp"
+#include "overload/admission.hpp"
+#include "overload/backoff.hpp"
+#include "overload/breaker.hpp"
+#include "overload/overload.hpp"
+#include "trace/profile.hpp"
+#include "util/rng.hpp"
+
+namespace wsched {
+namespace {
+
+// --- Backoff policies ---
+
+TEST(Backoff, ExponentialGrowsAndCaps) {
+  overload::BackoffConfig config;
+  config.base = 100 * kMillisecond;
+  config.multiplier = 2.0;
+  config.max = 1 * kSecond;
+  config.jitter = 0.0;  // no rng needed
+  EXPECT_EQ(overload::backoff_delay(config, 1, nullptr), 100 * kMillisecond);
+  EXPECT_EQ(overload::backoff_delay(config, 2, nullptr), 200 * kMillisecond);
+  EXPECT_EQ(overload::backoff_delay(config, 3, nullptr), 400 * kMillisecond);
+  EXPECT_EQ(overload::backoff_delay(config, 4, nullptr), 800 * kMillisecond);
+  EXPECT_EQ(overload::backoff_delay(config, 5, nullptr), 1 * kSecond);
+  EXPECT_EQ(overload::backoff_delay(config, 9, nullptr), 1 * kSecond);
+  // Attempt 0 is treated as the first attempt, never a zero delay.
+  EXPECT_EQ(overload::backoff_delay(config, 0, nullptr), 100 * kMillisecond);
+}
+
+TEST(Backoff, JitterIsBoundedAndDeterministicInTheSeed) {
+  overload::BackoffConfig config;
+  config.base = 100 * kMillisecond;
+  config.multiplier = 2.0;
+  config.max = 2 * kSecond;
+  config.jitter = 0.25;
+  Rng a(42, 7), b(42, 7), c(43, 7);
+  bool saw_different_from_c = false;
+  for (std::uint32_t attempt = 1; attempt <= 8; ++attempt) {
+    const Time da = overload::backoff_delay(config, attempt, &a);
+    const Time db = overload::backoff_delay(config, attempt, &b);
+    const Time dc = overload::backoff_delay(config, attempt, &c);
+    EXPECT_EQ(da, db);  // same stream, same sequence
+    if (da != dc) saw_different_from_c = true;
+    // Within +/- 25% of the un-jittered delay.
+    config.jitter = 0.0;
+    const Time mid = overload::backoff_delay(config, attempt, nullptr);
+    config.jitter = 0.25;
+    EXPECT_GE(da, static_cast<Time>(0.749 * mid));
+    EXPECT_LE(da, static_cast<Time>(1.251 * mid) + 1);
+  }
+  EXPECT_TRUE(saw_different_from_c);  // jitter actually draws
+}
+
+TEST(Backoff, LinearPresetReproducesLegacyFaultPolicy) {
+  // The pre-overload fault layer delayed redispatches by step * attempt.
+  const overload::BackoffConfig config =
+      overload::BackoffConfig::linear(50 * kMillisecond);
+  for (std::uint32_t attempt = 1; attempt <= 6; ++attempt)
+    EXPECT_EQ(overload::backoff_delay(config, attempt, nullptr),
+              50 * kMillisecond * attempt);
+}
+
+// --- Circuit breaker state machine ---
+
+overload::BreakerConfig breaker_config() {
+  overload::BreakerConfig config;
+  config.enabled = true;
+  config.failure_threshold = 3;
+  config.cooldown_s = 1.0;
+  return config;
+}
+
+TEST(Breaker, ConsecutiveFailuresTripAndSuccessResetsTheCount) {
+  const overload::BreakerConfig config = breaker_config();
+  overload::CircuitBreaker breaker(config);
+  breaker.note_failure(0);
+  breaker.note_failure(0);
+  breaker.note_success();  // streak broken
+  breaker.note_failure(0);
+  breaker.note_failure(0);
+  EXPECT_EQ(breaker.state(), overload::BreakerState::kClosed);
+  breaker.note_failure(0);
+  EXPECT_EQ(breaker.state(), overload::BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_FALSE(breaker.admits(100 * kMillisecond));
+}
+
+TEST(Breaker, HalfOpenProbeClosesOnSuccessAndReopensOnFailure) {
+  const overload::BreakerConfig config = breaker_config();
+  overload::CircuitBreaker breaker(config);
+  for (int i = 0; i < 3; ++i) breaker.note_failure(0);
+  ASSERT_EQ(breaker.state(), overload::BreakerState::kOpen);
+
+  // Cooldown elapses: the next admission probe flips to half-open and
+  // admits exactly one request.
+  EXPECT_TRUE(breaker.admits(1 * kSecond));
+  EXPECT_EQ(breaker.state(), overload::BreakerState::kHalfOpen);
+  breaker.note_dispatch();
+  EXPECT_FALSE(breaker.admits(1 * kSecond));  // probe in flight
+
+  // The probe completes: closed again, full admission.
+  breaker.note_success();
+  EXPECT_EQ(breaker.state(), overload::BreakerState::kClosed);
+  EXPECT_TRUE(breaker.admits(1 * kSecond));
+
+  // Trip again, probe again — but this time the probe fails: re-open,
+  // cooldown restarts from the failure.
+  for (int i = 0; i < 3; ++i) breaker.note_failure(2 * kSecond);
+  EXPECT_TRUE(breaker.admits(3 * kSecond));
+  breaker.note_dispatch();
+  breaker.note_failure(from_seconds(3.1));
+  EXPECT_EQ(breaker.state(), overload::BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 3u);
+  EXPECT_FALSE(breaker.admits(from_seconds(3.5)));
+  EXPECT_TRUE(breaker.admits(from_seconds(4.2)));
+}
+
+TEST(Breaker, QueueBuildupTripsAfterConsecutiveBadRounds) {
+  overload::BreakerConfig config = breaker_config();
+  config.queue_trip = 10.0;
+  config.queue_trip_rounds = 3;
+  overload::CircuitBreaker breaker(config);
+  breaker.note_queue_depth(12.0, 0);
+  breaker.note_queue_depth(12.0, 0);
+  breaker.note_queue_depth(5.0, 0);  // good round resets the streak
+  breaker.note_queue_depth(12.0, 0);
+  breaker.note_queue_depth(12.0, 0);
+  EXPECT_EQ(breaker.state(), overload::BreakerState::kClosed);
+  breaker.note_queue_depth(12.0, 0);
+  EXPECT_EQ(breaker.state(), overload::BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST(Breaker, BankAggregatesTripsAndFiltersAdmission) {
+  const overload::BreakerConfig config = breaker_config();
+  overload::BreakerBank bank(4, config);
+  for (int i = 0; i < 3; ++i) bank.node(2).note_failure(0);
+  EXPECT_FALSE(bank.admits(2, 0));
+  EXPECT_TRUE(bank.admits(0, 0));
+  EXPECT_TRUE(bank.admits(3, 0));
+  EXPECT_EQ(bank.trips(), 1u);
+  EXPECT_EQ(bank.tripped_count(), 1);
+}
+
+// --- Admission policies (pure probability surface) ---
+
+TEST(Admission, QueuePolicyIsBinaryAndDynamicOnly) {
+  overload::AdmissionConfig config;
+  config.policy = overload::AdmissionPolicy::kQueueDepth;
+  config.max_queue = 8.0;
+  config.signal_alpha = 1.0;  // signal == last sample
+  overload::AdmissionController admission(config);
+  EXPECT_DOUBLE_EQ(admission.shed_probability(true), 0.0);  // unprimed
+  admission.on_signal(6.0, 0.5);
+  EXPECT_DOUBLE_EQ(admission.shed_probability(true), 0.0);
+  admission.on_signal(9.0, 0.5);
+  EXPECT_DOUBLE_EQ(admission.shed_probability(true), 1.0);
+  // static_factor defaults to 0: statics are never shed.
+  EXPECT_DOUBLE_EQ(admission.shed_probability(false), 0.0);
+}
+
+TEST(Admission, UtilizationPolicyRampsLinearly) {
+  overload::AdmissionConfig config;
+  config.policy = overload::AdmissionPolicy::kUtilization;
+  config.max_utilization = 0.80;
+  config.signal_alpha = 1.0;
+  overload::AdmissionController admission(config);
+  admission.on_signal(0.0, 0.70);
+  EXPECT_DOUBLE_EQ(admission.shed_probability(true), 0.0);
+  admission.on_signal(0.0, 0.90);
+  EXPECT_NEAR(admission.shed_probability(true), 0.5, 1e-9);
+  admission.on_signal(0.0, 1.0);
+  EXPECT_NEAR(admission.shed_probability(true), 1.0, 1e-9);
+}
+
+TEST(Admission, StretchTargetRampsFromTargetToFull) {
+  overload::AdmissionConfig config;
+  config.policy = overload::AdmissionPolicy::kStretchTarget;
+  config.stretch_target = 5.0;
+  config.stretch_full = 3.0;  // full shed at stretch 15
+  config.signal_alpha = 1.0;
+  overload::AdmissionController admission(config);
+  admission.on_static_completion(4.0);
+  EXPECT_DOUBLE_EQ(admission.shed_probability(true), 0.0);
+  admission.on_static_completion(10.0);
+  EXPECT_NEAR(admission.shed_probability(true), 0.5, 1e-9);
+  admission.on_static_completion(15.0);
+  EXPECT_NEAR(admission.shed_probability(true), 1.0, 1e-9);
+  admission.on_static_completion(40.0);
+  EXPECT_DOUBLE_EQ(admission.shed_probability(true), 1.0);
+  EXPECT_DOUBLE_EQ(admission.shed_probability(false), 0.0);
+}
+
+// --- Saturation detector hysteresis ---
+
+TEST(Saturation, HystereticEntryExitWithDwell) {
+  overload::SaturationConfig config;
+  config.enabled = true;
+  config.enter_queue = 10.0;
+  config.exit_queue = 4.0;
+  config.min_dwell_s = 1.0;
+  config.signal_alpha = 1.0;  // signal == last sample
+  overload::SaturationDetector detector(config);
+
+  // The first switch is not dwell-gated: immediate saturation degrades
+  // immediately.
+  EXPECT_EQ(detector.on_signal(12.0, 0), +1);
+  EXPECT_TRUE(detector.degraded());
+  EXPECT_EQ(detector.entries(), 1u);
+
+  // Inside the hysteresis band nothing happens; below the exit threshold
+  // the dwell clock still holds the switch.
+  EXPECT_EQ(detector.on_signal(7.0, from_seconds(0.2)), 0);
+  EXPECT_EQ(detector.on_signal(3.0, from_seconds(0.5)), 0);
+  EXPECT_TRUE(detector.degraded());
+
+  // Past the dwell the exit fires; degraded time covers the interval.
+  EXPECT_EQ(detector.on_signal(3.0, from_seconds(1.5)), -1);
+  EXPECT_FALSE(detector.degraded());
+  EXPECT_EQ(detector.degraded_time(from_seconds(1.5)), from_seconds(1.5));
+
+  // Re-entry is dwell-gated too, then counts a second entry.
+  EXPECT_EQ(detector.on_signal(12.0, from_seconds(2.0)), 0);
+  EXPECT_EQ(detector.on_signal(12.0, from_seconds(2.6)), +1);
+  EXPECT_EQ(detector.entries(), 2u);
+  EXPECT_EQ(detector.degraded_time(from_seconds(3.6)),
+            from_seconds(1.5) + from_seconds(1.0));
+}
+
+// --- Reservation degraded clamp ---
+
+TEST(ReservationDegraded, ClampsToZeroAndRestoresSeamlessly) {
+  core::ReservationConfig config;
+  config.p = 8;
+  config.m = 2;
+  core::ReservationController reservation(config);
+  reservation.update();
+  const double limit = reservation.theta_limit();
+  ASSERT_GT(limit, 0.0);
+
+  reservation.set_degraded(true);
+  EXPECT_TRUE(reservation.degraded());
+  EXPECT_DOUBLE_EQ(reservation.theta_limit(), 0.0);
+  EXPECT_DOUBLE_EQ(reservation.master_admission(), 0.0);
+  // Periodic updates and membership churn cannot reopen a degraded
+  // reservation.
+  reservation.update();
+  EXPECT_DOUBLE_EQ(reservation.theta_limit(), 0.0);
+  reservation.set_membership(7, 2);
+  EXPECT_DOUBLE_EQ(reservation.theta_limit(), 0.0);
+
+  reservation.set_membership(8, 2);
+  reservation.set_degraded(false);
+  EXPECT_FALSE(reservation.degraded());
+  EXPECT_DOUBLE_EQ(reservation.theta_limit(), limit);
+  EXPECT_GT(reservation.master_admission(), 0.0);
+}
+
+// --- Full cluster runs ---
+
+core::ExperimentSpec overload_spec(double lambda, std::uint64_t seed = 7) {
+  core::ExperimentSpec spec;
+  spec.profile = trace::ksu_profile();
+  spec.p = 8;  // m sized by Theorem 1
+  spec.lambda = lambda;
+  spec.r = 1.0 / 40.0;
+  spec.duration_s = 5.0;
+  spec.warmup_s = 1.0;
+  spec.kind = core::SchedulerKind::kMs;
+  spec.seed = seed;
+  spec.max_events = 60'000'000;
+  return spec;
+}
+
+/// Every submitted request reaches exactly one terminal state.
+void expect_accounting_closes(const core::RunResult& run) {
+  EXPECT_EQ(run.completed + run.timeouts + run.shed + run.abandoned,
+            run.submitted);
+}
+
+TEST(ClusterOverload, DeadlinesAbandonLateRequests) {
+  core::ExperimentSpec spec = overload_spec(900);
+  spec.overload.deadline.dynamic_s = 0.25;
+  const core::ExperimentResult result = core::run_experiment(spec);
+  EXPECT_GT(result.run.abandoned, 0u);
+  EXPECT_EQ(result.run.shed, 0u);
+  EXPECT_EQ(result.run.timeouts, 0u);  // abandonment is not a fault timeout
+  expect_accounting_closes(result.run);
+  // A completion past its deadline is impossible: the client left first.
+  EXPECT_DOUBLE_EQ(result.run.metrics.slo_attainment_dynamic, 1.0);
+  // Statics have no deadline, so they trivially attain.
+  EXPECT_DOUBLE_EQ(result.run.metrics.slo_attainment_static, 1.0);
+  EXPECT_GT(result.run.goodput_rps, 0.0);
+}
+
+TEST(ClusterOverload, QueuePolicySheds) {
+  core::ExperimentSpec spec = overload_spec(1000);
+  spec.overload.admission.policy = overload::AdmissionPolicy::kQueueDepth;
+  spec.overload.admission.max_queue = 2.0;
+  const core::ExperimentResult result = core::run_experiment(spec);
+  EXPECT_GT(result.run.shed, 0u);
+  EXPECT_GT(result.run.overload_retries, 0u);
+  expect_accounting_closes(result.run);
+}
+
+TEST(ClusterOverload, UtilizationPolicySheds) {
+  core::ExperimentSpec spec = overload_spec(1000);
+  spec.overload.admission.policy = overload::AdmissionPolicy::kUtilization;
+  spec.overload.admission.max_utilization = 0.40;
+  const core::ExperimentResult result = core::run_experiment(spec);
+  EXPECT_GT(result.run.shed, 0u);
+  expect_accounting_closes(result.run);
+}
+
+TEST(ClusterOverload, StretchPolicyShedsAndDefendsStaticLatency) {
+  // Saturation compounds over time, so give the uncontrolled run enough
+  // horizon for its queues (and the static stretch with them) to diverge.
+  core::ExperimentSpec uncontrolled = overload_spec(1100);
+  uncontrolled.duration_s = 10.0;
+  uncontrolled.warmup_s = 2.0;
+  core::ExperimentSpec controlled = uncontrolled;
+  controlled.overload.admission.policy =
+      overload::AdmissionPolicy::kStretchTarget;
+  controlled.overload.admission.stretch_target = 3.0;
+  const core::ExperimentResult off = core::run_experiment(uncontrolled);
+  const core::ExperimentResult on = core::run_experiment(controlled);
+  EXPECT_GT(on.run.shed, 0u);
+  expect_accounting_closes(on.run);
+  // Shedding dynamic work is the point: the static latency contract holds
+  // where the uncontrolled run lets it blow up.
+  EXPECT_LT(on.run.metrics.stretch_static, off.run.metrics.stretch_static);
+}
+
+TEST(ClusterOverload, AlwaysShedPolicyCountsRetriesExactly) {
+  // max_queue < 0 sheds every dynamic request from t = 0, so every dynamic
+  // request burns exactly max_retries retries and is then shed for good;
+  // statics are untouched.
+  core::ExperimentSpec spec = overload_spec(300);
+  spec.overload.admission.policy = overload::AdmissionPolicy::kQueueDepth;
+  spec.overload.admission.max_queue = -1.0;
+  spec.overload.max_retries = 2;
+  const core::ExperimentResult result = core::run_experiment(spec);
+  EXPECT_GT(result.run.shed, 0u);
+  EXPECT_EQ(result.run.overload_retries, 2 * result.run.shed);
+  EXPECT_EQ(result.run.abandoned, 0u);
+  EXPECT_EQ(result.run.completed + result.run.shed, result.run.submitted);
+}
+
+TEST(ClusterOverload, BreakerTripsOnCrashedNode) {
+  // A node crashes and stays dead: dispatches landing on it before
+  // detection fail consecutively and trip its breaker.
+  core::ExperimentSpec spec = overload_spec(300);
+  spec.fault.enabled = true;
+  spec.fault.script.push_back(
+      {2 * kSecond, 5, fault::FaultKind::kCrash, 1.0, 1.0});
+  spec.overload.breaker.enabled = true;
+  spec.overload.breaker.failure_threshold = 1;
+  const core::ExperimentResult result = core::run_experiment(spec);
+  EXPECT_EQ(result.run.node_crashes, 1u);
+  EXPECT_GT(result.run.breaker_trips, 0u);
+  expect_accounting_closes(result.run);
+}
+
+TEST(ClusterOverload, SaturationEntersDegradedMode) {
+  core::ExperimentSpec spec = overload_spec(1100);
+  spec.overload.saturation.enabled = true;
+  spec.overload.saturation.enter_queue = 6.0;
+  spec.overload.saturation.exit_queue = 2.0;
+  spec.overload.saturation.min_dwell_s = 0.5;
+  const core::ExperimentResult result = core::run_experiment(spec);
+  EXPECT_GT(result.run.degraded_entries, 0u);
+  EXPECT_GT(result.run.degraded_seconds, 0.0);
+  expect_accounting_closes(result.run);
+}
+
+TEST(ClusterOverload, InertConfigLeavesMetricsIdentical) {
+  // Every feature enabled but none can ever trigger: thresholds out of
+  // reach, deadlines longer than the run. The overload layer must not
+  // perturb a single routing or service decision — identical metrics, bit
+  // for bit (extra deadline/tick events exist, so event counts differ by
+  // design; the workload's path through the cluster must not).
+  for (const core::SchedulerKind kind :
+       {core::SchedulerKind::kMs, core::SchedulerKind::kFlat}) {
+    core::ExperimentSpec off = overload_spec(300);
+    off.kind = kind;
+    core::ExperimentSpec on = off;
+    on.overload.deadline.static_s = 1e6;
+    on.overload.deadline.dynamic_s = 1e6;
+    on.overload.admission.policy = overload::AdmissionPolicy::kQueueDepth;
+    on.overload.admission.max_queue = 1e9;
+    on.overload.breaker.enabled = true;
+    on.overload.saturation.enabled = true;
+    on.overload.saturation.enter_queue = 1e9;
+    const core::ExperimentResult a = core::run_experiment(off);
+    const core::ExperimentResult b = core::run_experiment(on);
+    EXPECT_DOUBLE_EQ(a.run.metrics.stretch, b.run.metrics.stretch);
+    EXPECT_DOUBLE_EQ(a.run.metrics.stretch_static,
+                     b.run.metrics.stretch_static);
+    EXPECT_DOUBLE_EQ(a.run.metrics.mean_response_s,
+                     b.run.metrics.mean_response_s);
+    EXPECT_EQ(a.run.metrics.completed, b.run.metrics.completed);
+    EXPECT_EQ(a.run.submitted, b.run.submitted);
+    EXPECT_EQ(b.run.shed, 0u);
+    EXPECT_EQ(b.run.abandoned, 0u);
+    EXPECT_EQ(b.run.breaker_trips, 0u);
+    EXPECT_EQ(b.run.degraded_entries, 0u);
+    EXPECT_DOUBLE_EQ(b.run.metrics.slo_attainment, 1.0);
+  }
+}
+
+TEST(ClusterOverload, DeterministicWithFullStackOn) {
+  core::ExperimentSpec spec = overload_spec(1000, 13);
+  spec.overload.deadline.static_s = 1.0;
+  spec.overload.deadline.dynamic_s = 2.0;
+  spec.overload.admission.policy = overload::AdmissionPolicy::kStretchTarget;
+  spec.overload.admission.stretch_target = 4.0;
+  spec.overload.breaker.enabled = true;
+  spec.overload.breaker.queue_trip = 48.0;
+  spec.overload.saturation.enabled = true;
+  spec.overload.saturation.enter_queue = 10.0;
+  spec.overload.saturation.exit_queue = 3.0;
+  const core::ExperimentResult a = core::run_experiment(spec);
+  const core::ExperimentResult b = core::run_experiment(spec);
+  EXPECT_GT(a.run.shed + a.run.abandoned, 0u);  // the stack actually fires
+  EXPECT_EQ(a.run.events, b.run.events);
+  EXPECT_EQ(a.run.shed, b.run.shed);
+  EXPECT_EQ(a.run.abandoned, b.run.abandoned);
+  EXPECT_EQ(a.run.overload_retries, b.run.overload_retries);
+  EXPECT_EQ(a.run.breaker_trips, b.run.breaker_trips);
+  EXPECT_EQ(a.run.degraded_entries, b.run.degraded_entries);
+  EXPECT_DOUBLE_EQ(a.run.metrics.stretch, b.run.metrics.stretch);
+  EXPECT_DOUBLE_EQ(a.run.goodput_rps, b.run.goodput_rps);
+  expect_accounting_closes(a.run);
+}
+
+}  // namespace
+}  // namespace wsched
