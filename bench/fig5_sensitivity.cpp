@@ -108,7 +108,7 @@ int main(int argc, char** argv) {
     std::string adaptive_ms;
     for (const harness::ResultRow* row : group) {
       if (row->number("saturated") != 0.0) {
-        adaptive_ms += (adaptive_ms.empty() ? "" : ",") + std::string("-");
+        adaptive_ms += adaptive_ms.empty() ? "-" : ",-";
         continue;
       }
       const double degradation = row->number("degradation");

@@ -100,7 +100,7 @@ int main(int argc, char** argv) {
     if (row.number("feasible") == 0.0) continue;
     table.row()
         .cell(row.text("m"))
-        .cell("[" + fixed(row.number("theta_lo"), 3) + ", " +
+        .cell(std::string("[") + fixed(row.number("theta_lo"), 3) + ", " +
               fixed(row.number("theta_hi"), 3) + "]")
         .cell(row.number("theta"), 3)
         .cell(row.number("stretch"), 3)

@@ -1,11 +1,16 @@
 #include "core/cluster.hpp"
 
+#include <algorithm>
 #include <optional>
 #include <stdexcept>
 #include <string>
 
 #include "core/cache.hpp"
 #include "fault/membership.hpp"
+#include "net/net_health.hpp"
+#include "net/network.hpp"
+#include "net/rpc.hpp"
+#include "net/stale_view.hpp"
 #include "obs/log.hpp"
 #include "overload/backoff.hpp"
 #include "util/rng.hpp"
@@ -23,6 +28,12 @@ ClusterSim::ClusterSim(ClusterConfig config,
     throw std::invalid_argument("cluster: node_params size mismatch");
   if (dispatcher_ == nullptr)
     throw std::invalid_argument("cluster: dispatcher required");
+  if (config_.net.enabled &&
+      (!config_.net.partitions.empty() || config_.net.partition_mttf_s > 0.0) &&
+      !config_.fault.enabled)
+    throw std::invalid_argument(
+        "cluster: network partitions require the fault layer "
+        "(fault.enabled) so membership and health can react");
 }
 
 RunResult ClusterSim::run(const trace::Trace& trace) {
@@ -33,6 +44,7 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
   obs::TraceSink* tracer = config_.obs.trace;
   obs::CounterRegistry* counters = config_.obs.counters;
   const int cluster_pid = config_.p;  ///< pseudo-pid for cluster-level lanes
+  const bool net_on = config_.net.enabled;
   if (config_.max_events > 0 || config_.wall_budget_s > 0.0) {
     engine.set_guard(config_.max_events, config_.wall_budget_s);
     if (tracer != nullptr)
@@ -52,6 +64,9 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     tracer->name_thread(cluster_pid, obs::kLaneDispatch, "dispatch");
     tracer->name_thread(cluster_pid, obs::kLaneControl, "control");
     tracer->name_thread(cluster_pid, obs::kLaneOverload, "overload");
+    // Gated on net_on: naming the lane in a net-off run would change the
+    // trace bytes and break the ideal() byte-identity contract.
+    if (net_on) tracer->name_thread(cluster_pid, obs::kLaneNet, "net");
   }
   // Counter handles resolve once here; a null registry leaves every handle
   // null and obs::bump a no-op.
@@ -71,6 +86,22 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
   std::uint64_t* c_abandoned = counter("overload.abandoned");
   std::uint64_t* c_breaker_trips = counter("overload.breaker_trips");
   std::uint64_t* c_degraded_entries = counter("overload.degraded_entries");
+  // net.* counters exist only when the net model is on, so a net-off run's
+  // counter snapshot (in traces and JSON dumps) is unchanged.
+  const auto net_counter = [&](const char* name) -> std::uint64_t* {
+    return net_on ? counter(name) : nullptr;
+  };
+  std::uint64_t* c_net_sent = net_counter("net.sent");
+  std::uint64_t* c_net_lost = net_counter("net.lost");
+  std::uint64_t* c_net_partition_drops = net_counter("net.partition_drops");
+  std::uint64_t* c_net_duplicates = net_counter("net.duplicates");
+  std::uint64_t* c_net_rpc_retries = net_counter("net.rpc_retries");
+  std::uint64_t* c_net_rpc_failures = net_counter("net.rpc_failures");
+  std::uint64_t* c_net_reports = net_counter("net.reports");
+  std::uint64_t* c_net_stale_fallbacks = net_counter("net.stale_fallbacks");
+  std::uint64_t* c_net_partitions = net_counter("net.partitions");
+  std::uint64_t* c_net_stepdowns = net_counter("net.stepdowns");
+  std::uint64_t* c_net_split_brain = net_counter("net.split_brain_rounds");
 
   sim::NodeObsHooks node_hooks;
   node_hooks.trace = tracer;
@@ -102,13 +133,50 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
       DispatchFeedback(static_cast<std::size_t>(config_.p),
                        config_.load_sample_period,
                        config_.initial_dynamic_demand_s));
-  monitor.set_on_sample([&] {
-    for (auto& feedback : feedbacks) feedback.on_sample(monitor.all());
-  });
+  // With the net model on the monitor is no longer an oracle feed: the
+  // feedbacks refresh only from load reports that actually crossed the
+  // wire (see the report tick below).
+  if (!net_on)
+    monitor.set_on_sample([&] {
+      for (auto& feedback : feedbacks) feedback.on_sample(monitor.all());
+    });
   ReservationConfig res_cfg = config_.reservation;
   res_cfg.p = config_.p;
   res_cfg.m = config_.m;
   ReservationController reservation(res_cfg);
+
+  // --- network fault model (absent when disabled: NetworkParams::ideal()
+  // constructs nothing and the paper's perfect-wire path runs unchanged) ---
+  std::optional<net::Network> network;
+  std::optional<net::Rpc> rpc;
+  std::optional<net::StaleClusterView> stale_view;
+  std::optional<net::NetHealth> net_health;
+  std::uint64_t stale_fallbacks = 0;
+  std::uint64_t net_reports = 0;
+  if (net_on) {
+    network.emplace(engine, config_.net, config_.p, config_.seed);
+    net::NetworkHooks net_hooks;
+    net_hooks.trace = tracer;
+    net_hooks.cluster_pid = cluster_pid;
+    net_hooks.sent = c_net_sent;
+    net_hooks.lost = c_net_lost;
+    net_hooks.partition_drops = c_net_partition_drops;
+    net_hooks.partitions = c_net_partitions;
+    network->set_hooks(net_hooks);
+    net::Rpc::Options rpc_options;
+    rpc_options.timeout = from_seconds(config_.net.rpc_timeout_s);
+    rpc_options.max_attempts = config_.net.rpc_max_attempts;
+    rpc_options.backoff = config_.net.rpc_backoff;
+    rpc.emplace(engine, *network, rpc_options, config_.seed);
+    net::Rpc::Hooks rpc_hooks;
+    rpc_hooks.trace = tracer;
+    rpc_hooks.cluster_pid = cluster_pid;
+    rpc_hooks.retries = c_net_rpc_retries;
+    rpc_hooks.failures = c_net_rpc_failures;
+    rpc_hooks.duplicates = c_net_duplicates;
+    rpc->set_hooks(rpc_hooks);
+    stale_view.emplace(config_.p);
+  }
 
   // --- fault-injection & failover layer (absent when disabled: the
   // default run takes the exact fault-free code path, draw for draw) ---
@@ -118,19 +186,34 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
   std::optional<fault::FaultInjector> injector;
   std::uint64_t redispatches = 0;
   std::uint64_t timeouts = 0;
+  /// Quorum-deferred promotions: dead masters whose replacement could not
+  /// be elected yet (no majority corroboration, or the front end itself
+  /// lost quorum). Retried every detection round.
+  std::vector<int> pending_promotions;
   if (faults_on) {
     membership.emplace(config_.p, config_.m);
     const Time heartbeat = config_.fault.heartbeat_period > 0
                                ? config_.fault.heartbeat_period
                                : config_.load_sample_period;
-    health.emplace(engine, node_ptrs, heartbeat,
-                   config_.fault.suspect_misses, config_.fault.dead_misses);
     injector.emplace(engine, node_ptrs, config_.fault, config_.m,
                      config_.seed);
     injector->set_trace(tracer);
-    health->set_on_transition([&, tracer, c_promotions](
-                                  int node, fault::NodeHealth from,
-                                  fault::NodeHealth to) {
+    const auto note_promotion = [&, tracer, c_promotions](int promoted,
+                                                          int replaced) {
+      obs::bump(c_promotions);
+      if (tracer != nullptr)
+        tracer->instant(obs::Category::kFault, "promote", promoted,
+                        obs::kLaneFault, engine.now(),
+                        {{"replaces", replaced}});
+      obs::logf(obs::LogLevel::kInfo, "membership",
+                "t=%.3fs slave %d promoted to master (replacing %d)",
+                to_seconds(engine.now()), promoted, replaced);
+      // The promoted node now claims the role in the distributed view.
+      if (net_on) net_health->set_claim(promoted, true);
+    };
+    const auto transition_handler = [&, tracer, note_promotion](
+                                        int node, fault::NodeHealth from,
+                                        fault::NodeHealth to) {
       if (tracer != nullptr)
         tracer->instant(obs::Category::kFault, "health", node,
                         obs::kLaneFault, engine.now(),
@@ -142,25 +225,85 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
       // Roles follow *declared* state: promotion and the Theorem-1
       // re-sizing of theta'_2 happen at detection time, not crash time.
       if (to == fault::NodeHealth::kDead) {
+        const bool was_master = membership->is_master(node);
         const int promoted = membership->mark_dead(node);
         if (promoted >= 0) {
-          obs::bump(c_promotions);
-          if (tracer != nullptr)
-            tracer->instant(obs::Category::kFault, "promote", promoted,
-                            obs::kLaneFault, engine.now(),
-                            {{"replaces", node}});
-          obs::logf(obs::LogLevel::kInfo, "membership",
-                    "t=%.3fs slave %d promoted to master (replacing %d)",
-                    to_seconds(engine.now()), promoted, node);
+          note_promotion(promoted, node);
+        } else if (net_on && was_master) {
+          // Quorum gate (or reachability filter) blocked the election;
+          // park it for the per-round retry.
+          pending_promotions.push_back(node);
         }
       } else if (to == fault::NodeHealth::kHealthy) {
         membership->mark_alive(node);
+        if (net_on) {
+          pending_promotions.erase(std::remove(pending_promotions.begin(),
+                                               pending_promotions.end(), node),
+                                   pending_promotions.end());
+          net_health->set_claim(node, membership->is_master(node));
+        }
       } else {
         return;  // suspected: candidate pools shrink, roles unchanged
       }
       reservation.set_membership(membership->effective_p(),
                                  membership->effective_m());
-    });
+    };
+    if (net_on) {
+      // Distributed detection: the (p + 1) x p observer matrix replaces
+      // the single omniscient HealthMonitor (see net/net_health.hpp).
+      net::NetHealth::Config nh_cfg;
+      nh_cfg.period = heartbeat;
+      nh_cfg.suspect_misses = config_.fault.suspect_misses;
+      nh_cfg.dead_misses = config_.fault.dead_misses;
+      nh_cfg.loss = config_.net.loss;
+      nh_cfg.quorum = config_.net.quorum ? config_.p / 2 + 1 : 0;
+      nh_cfg.masters = config_.m;
+      net_health.emplace(engine, node_ptrs, *network, nh_cfg, config_.seed);
+      net::NetHealth::Hooks nh_hooks;
+      nh_hooks.trace = tracer;
+      nh_hooks.cluster_pid = cluster_pid;
+      nh_hooks.stepdowns = c_net_stepdowns;
+      nh_hooks.split_brain_rounds = c_net_split_brain;
+      net_health->set_hooks(nh_hooks);
+      net_health->set_on_transition(transition_handler);
+      // Split-brain safety: a dead master's role moves only when a
+      // majority of live observers corroborate the death AND the serving
+      // side holds quorum; the replacement must itself be reachable from
+      // the front end (never elect a minority-side slave).
+      membership->set_promotion_gate([&](int dead) {
+        if (!config_.net.quorum) return true;
+        const int q = config_.p / 2 + 1;
+        return net_health->dead_votes(dead) >= q &&
+               net_health->healthy_count() >= q;
+      });
+      membership->set_promotion_filter(
+          [&](int candidate) { return network->front_end_reaches(candidate); });
+      net_health->set_on_round([&, note_promotion] {
+        for (std::size_t i = 0; i < pending_promotions.size();) {
+          const int dead = pending_promotions[i];
+          const int promoted = membership->retry_promotion(dead);
+          if (promoted >= 0) {
+            note_promotion(promoted, dead);
+            reservation.set_membership(membership->effective_p(),
+                                       membership->effective_m());
+          }
+          // Drop the entry once resolved: the role moved, or the node
+          // came back (retry_promotion returns -1 for both and the
+          // kHealthy transition above also erases revived nodes).
+          if (promoted >= 0 || !membership->is_master(dead) ||
+              node_ptrs[static_cast<std::size_t>(dead)]->alive()) {
+            pending_promotions.erase(pending_promotions.begin() +
+                                     static_cast<std::ptrdiff_t>(i));
+          } else {
+            ++i;
+          }
+        }
+      });
+    } else {
+      health.emplace(engine, node_ptrs, heartbeat,
+                     config_.fault.suspect_misses, config_.fault.dead_misses);
+      health->set_on_transition(transition_handler);
+    }
   }
 
   // One CGI result cache per potential receiver (the Swala extension).
@@ -180,7 +323,16 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
   view.rng = &dispatch_rng;
   if (faults_on) {
     view.membership = &*membership;
-    view.health = &health->all();
+    // The front end routes on the distributed detector's own (lossy) row
+    // when the net model is on — partitions cause false suspicion there.
+    view.health = net_on ? &net_health->view() : &health->all();
+  }
+  if (net_on) {
+    view.network = &*network;
+    view.stale = &*stale_view;
+    view.stale_penalty_per_s = config_.net.stale_penalty_per_s;
+    view.stale_max_age_s = config_.net.stale_max_age_s;
+    view.stale_fallbacks = &stale_fallbacks;
   }
   view.decisions = config_.obs.decisions;
   view.reservation_rejections = counter("dispatch.reservation_rejections");
@@ -227,6 +379,13 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
   // jitter-free (or fault-free) run draws nothing from it.
   Rng fault_backoff_rng(config_.seed, 0xFA11B0FF);
 
+  // Healthy count as the front end *believes* it: the distributed
+  // detector's row when the net model is on (false suspicion included),
+  // the omniscient monitor otherwise. Only meaningful when faults_on.
+  const auto declared_healthy = [&]() -> int {
+    return net_on ? net_health->healthy_count() : health->healthy_count();
+  };
+
   for (int i = 0; i < config_.p; ++i) {
     nodes[static_cast<std::size_t>(i)]->set_completion_callback(
         [&, i](const sim::Job& job, Time completion) {
@@ -256,6 +415,10 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
   // past the retry cap it is counted as timed out — never silently lost.
   // Only invoked when the fault layer is active.
   std::function<void(sim::Job)> redispatch;
+  // Net model: dispatch one job to `target_idx` over the at-least-once
+  // RPC wire (job.receiver must already be set). Defined below the
+  // failover lambda; the two reference each other.
+  std::function<void(sim::Job, int)> net_dispatch;
   if (faults_on) {
     redispatch = [&](sim::Job job) {
       job.disrupted = true;
@@ -286,15 +449,16 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
             {{"job", job.id},
              {"attempts", static_cast<std::uint64_t>(job.attempts)}});
       if (overload_on) overload->note_waiting(job.id);
-      const Time delay =
-          overload::backoff_delay(config_.fault.redispatch_backoff,
-                                  job.attempts, &fault_backoff_rng) +
-          config_.os.remote_cgi_latency;
+      // With the net model on, the hop cost is the RPC wire itself
+      // (sampled latency, retransmits) — not a flat add-on here.
+      Time delay = overload::backoff_delay(config_.fault.redispatch_backoff,
+                                           job.attempts, &fault_backoff_rng);
+      if (!net_on) delay += config_.os.remote_cgi_latency;
       engine.schedule_after(delay, [&, job]() mutable {
         // The client may have abandoned the job during the backoff wait;
         // it was already counted, just drop it here.
         if (overload_on && overload->consume_abandoned(job.id)) return;
-        if (health->healthy_count() == 0) {
+        if (declared_healthy() == 0) {
           // Total outage at retry time: go around again (and eventually
           // time out at the cap).
           redispatch(std::move(job));
@@ -309,6 +473,13 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
         if (decision.rsrc_w >= 0.0 && job.request.is_dynamic())
           feedbacks[static_cast<std::size_t>(decision.receiver)].on_dispatch(
               static_cast<std::size_t>(decision.node), decision.rsrc_w);
+        if (net_on) {
+          // Every failover hop crosses the wire: loss / partition drops
+          // surface as RPC retries and, at the cap, another failover.
+          if (overload_on) overload->note_dispatch(decision.node);
+          net_dispatch(std::move(job), decision.node);
+          return;
+        }
         sim::Node* target =
             node_ptrs[static_cast<std::size_t>(decision.node)];
         if (!target->alive()) {
@@ -332,13 +503,117 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
       }
     });
   }
+  if (net_on) {
+    net_dispatch = [&](sim::Job job, int target_idx) {
+      rpc->call(
+          job.receiver, target_idx,
+          /*on_deliver=*/
+          [&, job, target_idx]() mutable {
+            if (overload_on && overload->consume_abandoned(job.id)) return;
+            sim::Node* target =
+                node_ptrs[static_cast<std::size_t>(target_idx)];
+            if (target->alive()) {
+              if (overload_on) overload->note_on_node(job.id, target_idx);
+              target->submit(std::move(job));
+            } else if (faults_on) {
+              // Delivered to a node that died mid-flight: failover.
+              if (overload_on) overload->note_dispatch_failure(target_idx);
+              redispatch(std::move(job));
+            }
+            // Without the fault layer nodes never crash, so the branch
+            // above is the only way a delivered job can miss its target.
+          },
+          /*on_fail=*/
+          [&, job, target_idx]() mutable {
+            if (overload_on && overload->consume_abandoned(job.id)) return;
+            if (overload_on) overload->note_dispatch_failure(target_idx);
+            if (faults_on) {
+              redispatch(std::move(job));
+              return;
+            }
+            // No fault layer to retry through: the dispatch is lost on
+            // the wire for good and counted as a timeout — never
+            // silently dropped.
+            if (overload_on) overload->forget(job.id);
+            ++timeouts;
+            obs::bump(c_timeouts);
+            if (tracer != nullptr)
+              tracer->instant(
+                  obs::Category::kDispatch, "timeout", cluster_pid,
+                  obs::kLaneDispatch, engine.now(),
+                  {{"job", job.id},
+                   {"attempts", static_cast<std::uint64_t>(job.attempts)}});
+            obs::logf(obs::LogLevel::kWarn, "net",
+                      "t=%.3fs job %llu lost on the wire after %d attempts",
+                      to_seconds(engine.now()),
+                      static_cast<unsigned long long>(job.id),
+                      config_.net.rpc_max_attempts);
+            if (--remaining == 0) engine.stop();
+          });
+    };
+  }
 
   monitor.start();
   if (faults_on) {
-    health->start();
+    if (net_on)
+      net_health->start();
+    else
+      health->start();
     injector->start();
   }
   if (overload_on) overload->start();
+
+  // In-band load reports: every node periodically reports its last
+  // monitor sample to each (current) master over the control plane. The
+  // receiver's dispatch knowledge refreshes only from reports that were
+  // actually delivered — lost or partitioned reports age the view, which
+  // the RSRC staleness penalty and the two-choices fallback react to.
+  std::function<void()> report_tick;
+  if (net_on) {
+    network->start();
+    const Time report_period =
+        config_.net.load_report_interval_s > 0
+            ? from_seconds(config_.net.load_report_interval_s)
+            : config_.load_sample_period;
+    report_tick = [&, report_period] {
+      const Time origin = monitor.last_sample_time();
+      const std::vector<int>* masters_now =
+          faults_on ? &membership->masters() : nullptr;
+      const int static_masters = config_.m;
+      const std::size_t receiver_count =
+          masters_now != nullptr ? masters_now->size()
+                                 : static_cast<std::size_t>(static_masters);
+      for (int n = 0; n < config_.p; ++n) {
+        if (!node_ptrs[static_cast<std::size_t>(n)]->alive()) continue;
+        const LoadInfo info = monitor.info(static_cast<std::size_t>(n));
+        for (std::size_t ri = 0; ri < receiver_count; ++ri) {
+          const int r = masters_now != nullptr
+                            ? (*masters_now)[ri]
+                            : static_cast<int>(ri);
+          if (r == n) {
+            // A master's knowledge of itself never crosses the wire.
+            stale_view->apply_report(r, n, info, origin);
+            if (config_.use_dispatch_feedback)
+              feedbacks[static_cast<std::size_t>(r)].on_node_report(
+                  static_cast<std::size_t>(n), info);
+            continue;
+          }
+          network->send(n, r, net::MsgKind::kControl, [&, n, r, info,
+                                                       origin] {
+            if (!node_ptrs[static_cast<std::size_t>(r)]->alive()) return;
+            stale_view->apply_report(r, n, info, origin);
+            if (config_.use_dispatch_feedback)
+              feedbacks[static_cast<std::size_t>(r)].on_node_report(
+                  static_cast<std::size_t>(n), info);
+            ++net_reports;
+            obs::bump(c_net_reports);
+          });
+        }
+      }
+      if (remaining > 0) engine.schedule_after(report_period, report_tick);
+    };
+    engine.schedule_after(report_period, report_tick);
+  }
 
   // Periodic theta'_2 recomputation, running as long as work remains.
   std::function<void()> reservation_tick = [&] {
@@ -387,6 +662,22 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
       cluster_probe.r_hat = reservation.r_hat();
       cluster_probe.theta_limit = reservation.theta_limit();
       cluster_probe.master_fraction = reservation.master_fraction();
+      if (net_on) {
+        cluster_probe.net_active = true;
+        cluster_probe.net_sent = static_cast<double>(network->sent());
+        cluster_probe.net_lost = static_cast<double>(
+            network->lost() + network->partition_drops());
+        cluster_probe.net_rpc_retries =
+            static_cast<double>(rpc->retries());
+        cluster_probe.net_stale_fallbacks =
+            static_cast<double>(stale_fallbacks);
+        cluster_probe.net_split_brain_rounds =
+            faults_on
+                ? static_cast<double>(net_health->split_brain_rounds())
+                : 0.0;
+        cluster_probe.net_partition_active =
+            network->partition_active() ? 1.0 : 0.0;
+      }
       probes->sample(now, node_probes, cluster_probe);
       if (remaining > 0) engine.schedule_after(probes->interval(), probe_tick);
     };
@@ -447,7 +738,11 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     if (overload_on) overload->note_dispatch(target_idx);
     if (decision.remote && job.request.is_dynamic()) {
       if (overload_on) overload->note_waiting(job.id);
-      if (faults_on || overload_on) {
+      if (net_on) {
+        // The dispatch hop is a real message now: sampled latency, loss
+        // surfacing as RPC retransmits, failover past the attempt cap.
+        net_dispatch(std::move(job), target_idx);
+      } else if (faults_on || overload_on) {
         // The target may die during the dispatch hop (or already be dead
         // but undetected); the landing check routes the job into failover.
         // The client may also abandon it mid-hop.
@@ -512,7 +807,7 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
           &overload->retry_rng());
       engine.schedule_after(delay, [&, job]() mutable {
         if (overload->consume_abandoned(job.id)) return;
-        if (faults_on && health->healthy_count() == 0) {
+        if (faults_on && declared_healthy() == 0) {
           redispatch(std::move(job));
           return;
         }
@@ -542,7 +837,7 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     job.request = rec;
     job.cluster_arrival = engine.now();
     if (overload_on) overload->arm_deadline(job);
-    if (faults_on && health->healthy_count() == 0) {
+    if (faults_on && declared_healthy() == 0) {
       // Total outage: no declared-healthy front end can accept the
       // request; hold it in the failover queue (it retries with backoff
       // and times out at the cap if the outage persists).
@@ -577,6 +872,26 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     result.redispatches = redispatches;
     result.timeouts = timeouts;
     result.promotions = membership->promotions();
+  }
+  if (net_on) {
+    result.net_enabled = true;
+    result.timeouts = timeouts;  // wire-lost dispatches when faults are off
+    result.net_sent = network->sent();
+    result.net_lost = network->lost() + network->partition_drops();
+    result.net_duplicates = rpc->duplicates();
+    result.net_rpc_retries = rpc->retries();
+    result.net_rpc_failures = rpc->failures();
+    result.net_reports = net_reports;
+    result.net_stale_fallbacks = stale_fallbacks;
+    result.net_partitions = network->partitions_seen();
+    if (faults_on) {
+      result.net_stepdowns = net_health->stepdowns();
+      result.net_split_brain_rounds = net_health->split_brain_rounds();
+    }
+    // The fallback counter is bumped through the dispatch view, not a
+    // registry handle; mirror it into the registry at run end.
+    if (c_net_stale_fallbacks != nullptr)
+      *c_net_stale_fallbacks = stale_fallbacks;
   }
   if (overload_on) {
     result.shed = overload->shed_count();

@@ -17,6 +17,7 @@
 #include "core/policy.hpp"
 #include "core/reservation.hpp"
 #include "fault/fault.hpp"
+#include "net/network.hpp"
 #include "obs/observer.hpp"
 #include "overload/overload.hpp"
 #include "sim/engine.hpp"
@@ -60,6 +61,12 @@ struct ClusterConfig {
   /// the controller out of the run entirely — bit-identical to a build
   /// without the subsystem.
   overload::OverloadConfig overload;
+  /// Network fault model (see net::NetworkParams): message-level latency /
+  /// loss / partitions, at-least-once RPC dispatch, in-band load reports
+  /// with staleness-aware RSRC, quorum membership. Disabled by default;
+  /// the disabled config (== NetworkParams::ideal()) constructs nothing
+  /// and keeps the run byte-identical to a build without src/net/.
+  net::NetworkParams net;
   /// Optional tail-window start for MetricsSummary::stretch_tail
   /// (<= 0 disables); used to measure post-failover recovery.
   Time metrics_tail_start = 0;
@@ -106,6 +113,20 @@ struct RunResult {
   std::uint64_t breaker_trips = 0;     ///< breaker open / re-open events
   std::uint64_t degraded_entries = 0;  ///< degraded-mode entries
   double degraded_seconds = 0.0;       ///< total time degraded
+  /// Net-model statistics (defaults when the network model is off). With
+  /// the net model on but no fault layer, `timeouts` above counts
+  /// dispatches lost on the wire after all RPC attempts.
+  bool net_enabled = false;
+  std::uint64_t net_sent = 0;
+  std::uint64_t net_lost = 0;        ///< wire loss + partition drops
+  std::uint64_t net_duplicates = 0;  ///< retransmit copies deduplicated
+  std::uint64_t net_rpc_retries = 0;
+  std::uint64_t net_rpc_failures = 0;  ///< calls that exhausted attempts
+  std::uint64_t net_reports = 0;       ///< load reports delivered remotely
+  std::uint64_t net_stale_fallbacks = 0;  ///< power-of-two-choices picks
+  std::uint64_t net_partitions = 0;       ///< partition windows opened
+  std::uint64_t net_stepdowns = 0;  ///< minority masters stepping down
+  std::uint64_t net_split_brain_rounds = 0;  ///< rounds with > m claimants
   /// Completions inside their SLO per second of measured (post-warmup)
   /// simulated time — the headline graceful-degradation metric.
   double goodput_rps = 0.0;

@@ -77,6 +77,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   config.load_sample_period = from_seconds(spec.load_sample_period_s);
   config.fault = spec.fault;
   config.overload = spec.overload;
+  config.net = spec.net;
   if (spec.metrics_tail_start_s > 0.0)
     config.metrics_tail_start = from_seconds(spec.metrics_tail_start_s);
   config.node_params = spec.node_params;

@@ -46,6 +46,10 @@ struct ExperimentSpec {
   /// disabled by default — see overload::OverloadConfig); passed through
   /// to the cluster unchanged.
   overload::OverloadConfig overload;
+  /// Network fault model (lossy/partitionable interconnect, RPC dispatch,
+  /// stale load reports, quorum membership; disabled by default — see
+  /// net::NetworkParams); passed through to the cluster unchanged.
+  net::NetworkParams net;
   /// Tail-window start (seconds) for MetricsSummary::stretch_tail;
   /// <= 0 disables. Used to measure post-failover recovery.
   double metrics_tail_start_s = 0.0;

@@ -20,6 +20,11 @@ void DispatchFeedback::on_sample(const std::vector<LoadInfo>& fresh) {
   effective_ = fresh;
 }
 
+void DispatchFeedback::on_node_report(std::size_t node, const LoadInfo& fresh) {
+  base_.at(node) = fresh;
+  effective_.at(node) = fresh;
+}
+
 void DispatchFeedback::on_dispatch(std::size_t node, double w) {
   // A request with demand d uses roughly w*d of CPU and (1-w)*d of disk
   // over the coming window; expressed as a fraction of the window it is a

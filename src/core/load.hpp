@@ -38,6 +38,11 @@ class DispatchFeedback {
   /// Refreshes the base snapshot (call whenever the monitor samples).
   void on_sample(const std::vector<LoadInfo>& fresh);
 
+  /// Refreshes one node's snapshot from a delivered load report (the
+  /// net-model path, where nodes report individually over the control
+  /// plane and reports can be lost or delayed independently).
+  void on_node_report(std::size_t node, const LoadInfo& fresh);
+
   /// Debits a dynamic dispatch from node `node`'s availability.
   void on_dispatch(std::size_t node, double w);
 
@@ -69,6 +74,8 @@ class LoadMonitor {
   const LoadInfo& info(std::size_t node) const { return info_.at(node); }
   const std::vector<LoadInfo>& all() const { return info_; }
   Time period() const { return period_; }
+  /// Simulated time of the most recent sample (load-report origin stamp).
+  Time last_sample_time() const { return last_sample_; }
 
   /// Takes one sample immediately (also used by start()).
   void sample_now();

@@ -38,12 +38,14 @@ std::string score_candidates(double w, const std::vector<int>& candidates,
 }
 
 /// Appends one record when the view carries a decision log; `candidates`
-/// (with `load`) adds the scored candidate set.
+/// (with `load`) adds the scored candidate set. `stale_s` is the age of
+/// the snapshot the decision scored against (negative = fresh oracle).
 void log_decision(ClusterView& view, const Decision& decision, bool dynamic,
                   const char* reason,
                   const std::vector<int>* candidates = nullptr,
                   const std::vector<LoadInfo>* load = nullptr,
-                  const std::vector<sim::NodeParams>* speeds = nullptr) {
+                  const std::vector<sim::NodeParams>* speeds = nullptr,
+                  double stale_s = -1.0) {
   if (view.decisions == nullptr) return;
   obs::DecisionRecord record;
   record.at = view.now;
@@ -53,18 +55,79 @@ void log_decision(ClusterView& view, const Decision& decision, bool dynamic,
   record.remote = decision.remote;
   record.w = decision.rsrc_w;
   record.reason = reason;
+  record.stale_s = stale_s;
   if (candidates != nullptr && load != nullptr)
     record.candidates =
         score_candidates(decision.rsrc_w, *candidates, *load, speeds);
   view.decisions->record(std::move(record));
 }
 
-/// Copies the declared-healthy subset of `from` into `out`.
+/// Copies the declared-healthy subset of `from` into `out`, additionally
+/// dropping nodes unreachable from `src` (-1 = the dispatch front end;
+/// no-op without the net model).
 void filter_healthy(const ClusterView& view, const std::vector<int>& from,
-                    std::vector<int>& out) {
+                    std::vector<int>& out, int src = -1) {
   out.clear();
   for (const int node : from)
-    if (view.node_healthy(node)) out.push_back(node);
+    if (view.node_healthy(node) && view.reachable_from(src, node))
+      out.push_back(node);
+}
+
+/// Result of one min-RSRC pick: the index into the candidate vector, an
+/// override reason (null keeps the caller's), and the age of the load
+/// snapshot used (negative with the fresh oracle).
+struct PickOutcome {
+  std::size_t index = 0;
+  const char* reason = nullptr;
+  double stale_s = -1.0;
+};
+
+/// The shared dynamic-candidate pick. Without a stale view this is the
+/// plain near-tie min-RSRC scan on oracle load. With one, every
+/// candidate's cost is penalized by its report age; and when *everything*
+/// the receiver knows is older than stale_max_age_s, a full scan would
+/// just chase ghosts — the pick degrades to power-of-two-choices (two
+/// uniform probes, keep the cheaper), the classic remedy for stale
+/// information herding.
+PickOutcome pick_candidate(ClusterView& view, int receiver, double w,
+                           const std::vector<int>& candidates,
+                           const std::vector<LoadInfo>& seen,
+                           const std::vector<sim::NodeParams>* speeds,
+                           double tolerance) {
+  if (view.stale == nullptr)
+    return {pick_min_rsrc(w, candidates, seen, speeds, *view.rng, tolerance),
+            nullptr, -1.0};
+  static thread_local std::vector<double> scale;
+  scale.clear();
+  bool all_over_age = view.stale_max_age_s > 0.0;
+  for (const int node : candidates) {
+    const double age = view.stale->age_s(receiver, node, view.now);
+    scale.push_back(1.0 + view.stale_penalty_per_s * age);
+    if (age <= view.stale_max_age_s) all_over_age = false;
+  }
+  const auto scaled_cost = [&](std::size_t i) {
+    const auto node = static_cast<std::size_t>(candidates[i]);
+    if (speeds == nullptr) return scale[i] * rsrc_cost(w, seen[node]);
+    return scale[i] * rsrc_cost_heterogeneous(w, seen[node],
+                                              (*speeds)[node].cpu_speed,
+                                              (*speeds)[node].disk_speed);
+  };
+  std::size_t pick;
+  const char* reason = nullptr;
+  if (all_over_age && candidates.size() > 1) {
+    const auto a = static_cast<std::size_t>(
+        view.rng->uniform_int(candidates.size()));
+    const auto b = static_cast<std::size_t>(
+        view.rng->uniform_int(candidates.size()));
+    pick = scaled_cost(a) <= scaled_cost(b) ? a : b;
+    reason = "stale-po2";
+    obs::bump(view.stale_fallbacks);
+  } else {
+    pick = pick_min_rsrc(w, candidates, seen, speeds, &scale, *view.rng,
+                         tolerance);
+  }
+  return {pick, reason,
+          view.stale->age_s(receiver, candidates[pick], view.now)};
 }
 
 class FlatDispatcher final : public Dispatcher {
@@ -177,16 +240,18 @@ class MsDispatcher final : public Dispatcher {
     const std::vector<sim::NodeParams>* speeds =
         options_.speed_aware ? view.node_params : nullptr;
     const std::vector<LoadInfo>& seen = view.load_seen_by(receiver);
-    const std::size_t pick = pick_min_rsrc(w, candidates_, seen, speeds,
-                                           *view.rng,
-                                           options_.rsrc_tolerance);
-    const int target = candidates_[pick];
+    const PickOutcome picked = pick_candidate(view, receiver, w, candidates_,
+                                              seen, speeds,
+                                              options_.rsrc_tolerance);
+    const int target = candidates_[picked.index];
     if (view.reservation != nullptr)
       view.reservation->record_dynamic_routing(target < view.m);
     const Decision decision{target, target != receiver, w, receiver};
     log_decision(view, decision, true,
-                 masters_allowed ? "min-rsrc" : "min-rsrc-reserved",
-                 &candidates_, &seen, speeds);
+                 picked.reason != nullptr
+                     ? picked.reason
+                     : (masters_allowed ? "min-rsrc" : "min-rsrc-reserved"),
+                 &candidates_, &seen, speeds, picked.stale_s);
     return decision;
   }
 
@@ -248,7 +313,7 @@ class MsDispatcher final : public Dispatcher {
       candidates_.insert(candidates_.end(), masters_.begin(),
                          masters_.end());
     if (!options_.all_masters) {
-      filter_healthy(view, mem.slaves(), slaves_);
+      filter_healthy(view, mem.slaves(), slaves_, receiver);
       candidates_.insert(candidates_.end(), slaves_.begin(), slaves_.end());
     }
     if (candidates_.empty()) candidates_ = masters_;
@@ -258,16 +323,18 @@ class MsDispatcher final : public Dispatcher {
     const std::vector<sim::NodeParams>* speeds =
         options_.speed_aware ? view.node_params : nullptr;
     const std::vector<LoadInfo>& seen = view.load_seen_by(receiver);
-    const std::size_t pick = pick_min_rsrc(w, candidates_, seen, speeds,
-                                           *view.rng,
-                                           options_.rsrc_tolerance);
-    const int target = candidates_[pick];
+    const PickOutcome picked = pick_candidate(view, receiver, w, candidates_,
+                                              seen, speeds,
+                                              options_.rsrc_tolerance);
+    const int target = candidates_[picked.index];
     if (view.reservation != nullptr)
       view.reservation->record_dynamic_routing(mem.is_master(target));
     const Decision decision{target, target != receiver, w, receiver};
     log_decision(view, decision, true,
-                 masters_allowed ? "min-rsrc" : "min-rsrc-reserved",
-                 &candidates_, &seen, speeds);
+                 picked.reason != nullptr
+                     ? picked.reason
+                     : (masters_allowed ? "min-rsrc" : "min-rsrc-reserved"),
+                 &candidates_, &seen, speeds, picked.stale_s);
     return decision;
   }
 
@@ -309,16 +376,20 @@ class MsPrimeDispatcher final : public Dispatcher {
       }
       candidates_.clear();
       for (int n = 0; n < k; ++n)
-        if (view.node_healthy(n)) candidates_.push_back(n);
+        if (view.node_healthy(n) && view.reachable_from(receiver, n))
+          candidates_.push_back(n);
       if (candidates_.empty()) candidates_ = healthy_;
       const std::vector<LoadInfo>& seen = view.load_seen_by(receiver);
-      const std::size_t pick = pick_min_rsrc(request.cpu_fraction,
-                                             candidates_, seen, *view.rng);
-      const int target = candidates_[pick];
+      const PickOutcome picked =
+          pick_candidate(view, receiver, request.cpu_fraction, candidates_,
+                         seen, nullptr, 0.30);
+      const int target = candidates_[picked.index];
       const Decision decision{target, target != receiver,
                               request.cpu_fraction, receiver};
-      log_decision(view, decision, true, "min-rsrc-dedicated", &candidates_,
-                   &seen);
+      log_decision(view, decision, true,
+                   picked.reason != nullptr ? picked.reason
+                                            : "min-rsrc-dedicated",
+                   &candidates_, &seen, nullptr, picked.stale_s);
       return decision;
     }
     int receiver;
@@ -344,13 +415,16 @@ class MsPrimeDispatcher final : public Dispatcher {
     if (candidates_.empty())
       for (int n = 0; n < k; ++n) candidates_.push_back(n);
     const std::vector<LoadInfo>& seen = view.load_seen_by(receiver);
-    const std::size_t pick = pick_min_rsrc(request.cpu_fraction, candidates_,
-                                           seen, *view.rng);
-    const int target = candidates_[pick];
+    const PickOutcome picked = pick_candidate(
+        view, receiver, request.cpu_fraction, candidates_, seen, nullptr,
+        0.30);
+    const int target = candidates_[picked.index];
     const Decision decision{target, target != receiver, request.cpu_fraction,
                             receiver};
-    log_decision(view, decision, true, "min-rsrc-dedicated", &candidates_,
-                 &seen);
+    log_decision(view, decision, true,
+                 picked.reason != nullptr ? picked.reason
+                                          : "min-rsrc-dedicated",
+                 &candidates_, &seen, nullptr, picked.stale_s);
     return decision;
   }
 

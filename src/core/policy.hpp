@@ -25,6 +25,8 @@
 #include "core/reservation.hpp"
 #include "fault/health.hpp"
 #include "fault/membership.hpp"
+#include "net/network.hpp"
+#include "net/stale_view.hpp"
 #include "obs/decision_log.hpp"
 #include "overload/breaker.hpp"
 #include "sim/params.hpp"
@@ -65,6 +67,21 @@ struct ClusterView {
   /// breaker-specific code.
   overload::BreakerBank* breakers = nullptr;
 
+  // --- network fault model (all null/zero when the net model is off —
+  //     policies then keep the perfect-wire, fresh-oracle behavior) ---
+  /// Message-level interconnect; candidate pools exclude nodes the
+  /// receiver (or the front end) cannot currently reach.
+  const net::Network* network = nullptr;
+  /// Per-receiver aged load snapshots from in-band reports. Non-null
+  /// replaces the oracle monitor read: RSRC costs are scaled by
+  /// 1 + stale_penalty_per_s * age, and when every candidate's report is
+  /// older than stale_max_age_s the pick degrades to power-of-two-choices.
+  const net::StaleClusterView* stale = nullptr;
+  double stale_penalty_per_s = 0.0;
+  double stale_max_age_s = 0.0;  ///< 0 disables the two-choices fallback
+  /// Counter bumped on every two-choices fallback; null = untracked.
+  std::uint64_t* stale_fallbacks = nullptr;
+
   // --- observability (all null by default: no effect, no cost beyond one
   //     branch per decision) ---
   /// Structured per-dispatch records (candidate scores, chosen node,
@@ -76,14 +93,27 @@ struct ClusterView {
   /// Dispatch time, stamped on decision records by the cluster.
   Time now = 0;
 
-  /// The load picture receiver `node` routes by.
+  /// The load picture receiver `node` routes by. With the net model on
+  /// and feedback off this is the receiver's reported (stale) snapshot;
+  /// with feedback on, the feedback state itself is refreshed from
+  /// delivered reports rather than the monitor, so both paths route on
+  /// information that actually crossed the wire.
   const std::vector<LoadInfo>& load_seen_by(int node) const {
     if (feedbacks != nullptr)
       return (*feedbacks)[static_cast<std::size_t>(node)].effective();
+    if (stale != nullptr) return stale->seen_by(node);
     return *load;
   }
 
   bool fault_aware() const { return membership != nullptr; }
+
+  /// Whether `node` is reachable from `src` (-1 = the dispatch front
+  /// end). Always true without the net model or outside a partition.
+  bool reachable_from(int src, int node) const {
+    if (network == nullptr) return true;
+    return src < 0 ? network->front_end_reaches(node)
+                   : network->reachable(src, node);
+  }
 
   /// Declared-healthy check; always true without the failover layer. An
   /// open circuit breaker also fails it (and an open breaker past its

@@ -17,15 +17,17 @@ double rsrc_cost_heterogeneous(double w, const LoadInfo& load,
 std::size_t pick_min_rsrc(double w, const std::vector<int>& candidates,
                           const std::vector<LoadInfo>& load,
                           const std::vector<sim::NodeParams>* speeds,
-                          Rng& rng, double tolerance) {
+                          const std::vector<double>* cost_scale, Rng& rng,
+                          double tolerance) {
   if (candidates.empty())
     throw std::invalid_argument("pick_min_rsrc: no candidates");
   const auto cost_of = [&](std::size_t i) {
     const auto node = static_cast<std::size_t>(candidates[i]);
-    if (speeds == nullptr) return rsrc_cost(w, load.at(node));
+    const double scale = cost_scale == nullptr ? 1.0 : cost_scale->at(i);
+    if (speeds == nullptr) return scale * rsrc_cost(w, load.at(node));
     const sim::NodeParams& params = speeds->at(node);
-    return rsrc_cost_heterogeneous(w, load.at(node), params.cpu_speed,
-                                   params.disk_speed);
+    return scale * rsrc_cost_heterogeneous(w, load.at(node), params.cpu_speed,
+                                           params.disk_speed);
   };
   // Pass 1: the true minimum cost.
   double best_cost = 0.0;
@@ -47,9 +49,16 @@ std::size_t pick_min_rsrc(double w, const std::vector<int>& candidates,
 }
 
 std::size_t pick_min_rsrc(double w, const std::vector<int>& candidates,
+                          const std::vector<LoadInfo>& load,
+                          const std::vector<sim::NodeParams>* speeds,
+                          Rng& rng, double tolerance) {
+  return pick_min_rsrc(w, candidates, load, speeds, nullptr, rng, tolerance);
+}
+
+std::size_t pick_min_rsrc(double w, const std::vector<int>& candidates,
                           const std::vector<LoadInfo>& load, Rng& rng,
                           double tolerance) {
-  return pick_min_rsrc(w, candidates, load, nullptr, rng, tolerance);
+  return pick_min_rsrc(w, candidates, load, nullptr, nullptr, rng, tolerance);
 }
 
 }  // namespace wsched::core

@@ -46,4 +46,14 @@ std::size_t pick_min_rsrc(double w, const std::vector<int>& candidates,
                           const std::vector<sim::NodeParams>* speeds,
                           Rng& rng, double tolerance = 0.30);
 
+/// Staleness-aware variant: each candidate's cost is multiplied by
+/// `cost_scale[i]` (indexed by candidate position, e.g. 1 + penalty * age)
+/// before the min / near-tie comparison, so nodes whose load information
+/// is old look less attractive. A null scale reduces to the plain pick.
+std::size_t pick_min_rsrc(double w, const std::vector<int>& candidates,
+                          const std::vector<LoadInfo>& load,
+                          const std::vector<sim::NodeParams>* speeds,
+                          const std::vector<double>* cost_scale, Rng& rng,
+                          double tolerance = 0.30);
+
 }  // namespace wsched::core

@@ -30,27 +30,40 @@ void Membership::rebuild() {
   }
 }
 
+int Membership::promote_replacement(int node) {
+  const auto idx = static_cast<std::size_t>(node);
+  // Promote the lowest-id eligible healthy slave, moving the role off the
+  // dead node so it rejoins as a slave. With no promotable slave the role
+  // stays put (effective m shrinks until the node recovers).
+  for (int i = 0; i < p(); ++i) {
+    const auto cand = static_cast<std::size_t>(i);
+    if (!alive_[cand] || master_[cand]) continue;
+    if (promotion_filter_ && !promotion_filter_(i)) continue;
+    master_[cand] = true;
+    master_[idx] = false;
+    ++promotions_;
+    return i;
+  }
+  return -1;
+}
+
 int Membership::mark_dead(int node) {
   const auto idx = static_cast<std::size_t>(node);
   if (!alive_[idx]) return -1;
   alive_[idx] = false;
   int promoted = -1;
-  if (master_[idx]) {
-    // Promote the lowest-id healthy slave, moving the role off the dead
-    // node so it rejoins as a slave. With no promotable slave the role
-    // stays put (effective m shrinks until the node recovers).
-    for (int i = 0; i < p(); ++i) {
-      const auto cand = static_cast<std::size_t>(i);
-      if (alive_[cand] && !master_[cand]) {
-        master_[cand] = true;
-        master_[idx] = false;
-        promoted = i;
-        ++promotions_;
-        break;
-      }
-    }
-  }
+  if (master_[idx] && (!promotion_gate_ || promotion_gate_(node)))
+    promoted = promote_replacement(node);
   rebuild();
+  return promoted;
+}
+
+int Membership::retry_promotion(int node) {
+  const auto idx = static_cast<std::size_t>(node);
+  if (alive_[idx] || !master_[idx]) return -1;  // recovered, or role moved
+  if (promotion_gate_ && !promotion_gate_(node)) return -1;
+  const int promoted = promote_replacement(node);
+  if (promoted >= 0) rebuild();
   return promoted;
 }
 

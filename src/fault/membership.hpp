@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace wsched::fault {
@@ -56,11 +57,37 @@ class Membership {
   /// with no promotable slave).
   void mark_alive(int node);
 
+  /// Safety gate consulted before moving a dead master's role (the net
+  /// model's quorum rule: a majority of live observers must corroborate
+  /// the death and the serving side must itself hold quorum). While the
+  /// gate refuses, the role stays on the dead node — effective m shrinks —
+  /// and retry_promotion() can complete the hand-off later.
+  void set_promotion_gate(std::function<bool(int dead_master)> gate) {
+    promotion_gate_ = std::move(gate);
+  }
+
+  /// Eligibility filter for promotion candidates (e.g. "reachable from
+  /// the serving side"); an ineligible slave is skipped as if dead.
+  void set_promotion_filter(std::function<bool(int candidate)> filter) {
+    promotion_filter_ = std::move(filter);
+  }
+
+  /// Retries the promotion deferred for dead master `node` (gate refused
+  /// earlier). Returns the promoted node id, or -1 when the node is no
+  /// longer a dead role-holder, the gate still refuses, or no eligible
+  /// slave exists.
+  int retry_promotion(int node);
+
   std::uint64_t promotions() const { return promotions_; }
 
  private:
   void rebuild();
+  /// The shared promotion step: moves the role from dead `node` to the
+  /// lowest-id eligible healthy slave; -1 when none exists.
+  int promote_replacement(int node);
 
+  std::function<bool(int)> promotion_gate_;
+  std::function<bool(int)> promotion_filter_;
   std::vector<bool> master_;
   std::vector<bool> alive_;
   std::vector<int> masters_;

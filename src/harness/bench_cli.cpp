@@ -48,6 +48,29 @@ BenchCli::BenchCli(int argc, const char* const* argv)
       args.has("shed-util") || args.has("shed-target") ||
       args.has("breakers") || args.has("degraded-mode") ||
       args.has("overload-retries");
+  net.loss = args.get_double("net-loss", net.loss);
+  const std::string net_latency = args.get("net-latency", "");
+  if (!net_latency.empty()) {
+    const std::size_t colon = net_latency.find(':');
+    try {
+      net.latency_base_s = std::stod(net_latency.substr(0, colon));
+      if (colon != std::string::npos)
+        net.latency_jitter_s = std::stod(net_latency.substr(colon + 1));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("--net-latency expects B or B:J seconds, got " +
+                                  net_latency);
+    }
+  }
+  for (const std::string& window : args.get_all("net-partition"))
+    net.partitions.push_back(net::parse_partition_spec(window));
+  net.load_report_interval_s =
+      args.get_double("load-report-interval", net.load_report_interval_s);
+  net.stale_max_age_s = args.get_double("stale-fallback", net.stale_max_age_s);
+  net.quorum = args.get_bool("net-quorum", net.quorum);
+  net_set = args.has("net-loss") || args.has("net-latency") ||
+            args.has("net-partition") || args.has("load-report-interval") ||
+            args.has("stale-fallback") || args.has("net-quorum");
+  net.enabled = net_set;
 }
 
 namespace {
@@ -102,7 +125,7 @@ std::optional<SweepRun> run_bench(const SweepSpec& spec, const BenchCli& cli,
   // With several points, file paths are suffixed by grid index so parallel
   // evaluation never interleaves writers.
   EvalFn wrapped = eval;
-  if (cli.obs.any() || cli.overload_set) {
+  if (cli.obs.any() || cli.overload_set || cli.net_set) {
     std::size_t filtered = 0;
     for (const GridPoint& point : expand(spec))
       if (matches_filters(point.id, cli.options.filters)) ++filtered;
@@ -112,6 +135,7 @@ std::optional<SweepRun> run_bench(const SweepSpec& spec, const BenchCli& cli,
       if (cli.obs.any())
         traced.spec.obs = obs_for_point(cli.obs, point.index, multi);
       if (cli.overload_set) traced.spec.overload = cli.overload;
+      if (cli.net_set) traced.spec.net = cli.net;
       return eval(traced);
     };
   }

@@ -35,6 +35,22 @@
 //                        static-only mode
 //   --overload-retries N client retries of shed requests
 //
+// Net-model knobs (any one present injects a net::NetworkParams into every
+// evaluated point; all absent leaves the interconnect ideal):
+//
+//   --net-loss P              per-message drop probability
+//   --net-latency B[:J]       dispatch-hop base latency B seconds, plus an
+//                             exponential jitter of mean J seconds
+//   --net-partition T0:T1:G   scripted partition window (repeatable); G is
+//                             '|'-separated groups of ids/ranges, e.g.
+//                             "6:10:0-5|6,7"
+//   --load-report-interval S  per-node load-report period (0 rides the
+//                             load-sample period)
+//   --stale-fallback S        power-of-two-choices fallback once every
+//                             candidate's report is older than S seconds
+//   --net-quorum B            quorum-gated promotion / step-down (default
+//                             true; false exhibits split-brain)
+//
 // Bench-specific flags stay available through `args`.
 #pragma once
 
@@ -43,6 +59,7 @@
 #include <string>
 
 #include "harness/sweep.hpp"
+#include "net/network.hpp"
 #include "obs/observer.hpp"
 #include "util/cli.hpp"
 
@@ -65,6 +82,11 @@ struct BenchCli {
   /// point when `overload_set` (any of those flags present).
   overload::OverloadConfig overload;
   bool overload_set = false;
+  /// Net-model request from the --net-*/--load-report-interval/
+  /// --stale-fallback flags; applied to every evaluated point when
+  /// `net_set` (any of those flags present).
+  net::NetworkParams net;
+  bool net_set = false;
 };
 
 /// Artifact path stem for one sweep under --out (empty when --out unset).

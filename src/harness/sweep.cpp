@@ -208,4 +208,27 @@ void append_metrics(ResultRow& row, const core::ExperimentResult& result) {
            static_cast<unsigned long long>(result.run.degraded_entries));
 }
 
+void append_net_metrics(ResultRow& row, const core::ExperimentResult& result) {
+  const core::RunResult& r = result.run;
+  row.set("submitted", static_cast<unsigned long long>(r.submitted))
+      .set("completed_total", static_cast<unsigned long long>(r.completed))
+      .set("net_sent", static_cast<unsigned long long>(r.net_sent))
+      .set("net_lost", static_cast<unsigned long long>(r.net_lost))
+      .set("net_duplicates",
+           static_cast<unsigned long long>(r.net_duplicates))
+      .set("net_rpc_retries",
+           static_cast<unsigned long long>(r.net_rpc_retries))
+      .set("net_rpc_failures",
+           static_cast<unsigned long long>(r.net_rpc_failures))
+      .set("net_reports", static_cast<unsigned long long>(r.net_reports))
+      .set("net_stale_fallbacks",
+           static_cast<unsigned long long>(r.net_stale_fallbacks))
+      .set("net_partitions",
+           static_cast<unsigned long long>(r.net_partitions))
+      .set("net_stepdowns",
+           static_cast<unsigned long long>(r.net_stepdowns))
+      .set("net_split_brain_rounds",
+           static_cast<unsigned long long>(r.net_split_brain_rounds));
+}
+
 }  // namespace wsched::harness

@@ -145,4 +145,11 @@ ResultRow experiment_row(const GridPoint& point);
 /// Appends the stable metrics schema of one experiment result to `row`.
 void append_metrics(ResultRow& row, const core::ExperimentResult& result);
 
+/// Appends the net-model statistics (sent/lost/duplicates/retries,
+/// stale fallbacks, partitions, step-downs, split-brain rounds) plus the
+/// submitted/completed pair the accounting-closure check needs. Kept
+/// separate from append_metrics so the established sweep schema (and its
+/// byte-identity contract) never changes; net-aware benches call both.
+void append_net_metrics(ResultRow& row, const core::ExperimentResult& result);
+
 }  // namespace wsched::harness

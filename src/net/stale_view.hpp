@@ -1,0 +1,61 @@
+// Per-receiver aged load snapshots.
+//
+// With the net model on, RSRC no longer reads the LoadMonitor as a fresh
+// oracle: every node periodically *reports* its CPUIdleRatio /
+// DiskAvailRatio to each master over the (lossy, partitionable) control
+// plane, and each receiver keeps the last snapshot it actually heard plus
+// the origin timestamp of that sample. Dispatch then scores candidates on
+// aged data, penalized by staleness, with a power-of-two-choices fallback
+// when everything it knows is too old (see policy.cpp).
+#pragma once
+
+#include <vector>
+
+#include "core/load.hpp"
+#include "util/time.hpp"
+
+namespace wsched::net {
+
+class StaleClusterView {
+ public:
+  explicit StaleClusterView(int nodes)
+      : nodes_(nodes),
+        seen_(static_cast<std::size_t>(nodes),
+              std::vector<core::LoadInfo>(static_cast<std::size_t>(nodes))),
+        reported_at_(static_cast<std::size_t>(nodes),
+                     std::vector<Time>(static_cast<std::size_t>(nodes), 0)) {}
+
+  /// Records that `receiver` heard `node`'s load sample taken at `origin`
+  /// (simulated time of the measurement, not of the delivery).
+  void apply_report(int receiver, int node, const core::LoadInfo& info,
+                    Time origin) {
+    seen_[static_cast<std::size_t>(receiver)][static_cast<std::size_t>(node)] =
+        info;
+    reported_at_[static_cast<std::size_t>(receiver)]
+                [static_cast<std::size_t>(node)] = origin;
+    ++reports_applied_;
+  }
+
+  /// The load picture as `receiver` knows it (default-idle until the
+  /// first report lands — same cold start as the monitor's).
+  const std::vector<core::LoadInfo>& seen_by(int receiver) const {
+    return seen_[static_cast<std::size_t>(receiver)];
+  }
+
+  /// Age of receiver's knowledge of `node` at time `now`, in seconds.
+  double age_s(int receiver, int node, Time now) const {
+    return to_seconds(now - reported_at_[static_cast<std::size_t>(receiver)]
+                                        [static_cast<std::size_t>(node)]);
+  }
+
+  int nodes() const { return nodes_; }
+  std::uint64_t reports_applied() const { return reports_applied_; }
+
+ private:
+  int nodes_;
+  std::vector<std::vector<core::LoadInfo>> seen_;
+  std::vector<std::vector<Time>> reported_at_;
+  std::uint64_t reports_applied_ = 0;
+};
+
+}  // namespace wsched::net

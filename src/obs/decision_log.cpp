@@ -20,6 +20,7 @@ void DecisionLog::write_csv(std::ostream& out) const {
         .set_bool("remote", record.remote)
         .set("w", record.w)
         .set("reason", record.reason)
+        .set("stale_s", record.stale_s)
         .set("candidates", record.candidates);
     rows.push_back(std::move(row));
   }

@@ -27,8 +27,12 @@ struct DecisionRecord {
   bool remote = false;
   double w = -1.0;  ///< RSRC weight; negative when not RSRC-based
   /// Why this node: "static-local", "min-rsrc", "flat-random",
-  /// "cache-hit", "redispatch", ...
+  /// "cache-hit", "redispatch", "stale-po2", ...
   const char* reason = "";
+  /// Age (seconds) of the load snapshot the decision scored against;
+  /// negative when the run had fresh oracle information (net model off)
+  /// or the decision was not RSRC-based.
+  double stale_s = -1.0;
   /// "node:score" per candidate considered, '|'-joined; empty when the
   /// decision had no scored candidate set.
   std::string candidates;
@@ -48,7 +52,7 @@ class DecisionLog {
 
   /// Canonical CSV (via the harness artifact writers): one row per record
   /// with columns seq, t_s, class, receiver, chosen, remote, w, reason,
-  /// candidates.
+  /// stale_s, candidates.
   void write_csv(std::ostream& out) const;
   void write_csv_file(const std::string& path) const;
 

@@ -52,6 +52,17 @@ void ProbeRecorder::sample(Time now, const std::vector<NodeProbe>& nodes,
   samples_.push_back({now, -1, "r_hat", cluster.r_hat});
   samples_.push_back({now, -1, "theta_limit", cluster.theta_limit});
   samples_.push_back({now, -1, "master_fraction", cluster.master_fraction});
+  if (cluster.net_active) {
+    samples_.push_back({now, -1, "net_sent", cluster.net_sent});
+    samples_.push_back({now, -1, "net_lost", cluster.net_lost});
+    samples_.push_back({now, -1, "net_rpc_retries", cluster.net_rpc_retries});
+    samples_.push_back(
+        {now, -1, "net_stale_fallbacks", cluster.net_stale_fallbacks});
+    samples_.push_back(
+        {now, -1, "net_split_brain_rounds", cluster.net_split_brain_rounds});
+    samples_.push_back(
+        {now, -1, "net_partition_active", cluster.net_partition_active});
+  }
 
   last_at_ = now;
   ++rounds_;

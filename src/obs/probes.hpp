@@ -35,6 +35,16 @@ struct ClusterProbe {
   double r_hat = 0.0;
   double theta_limit = 0.0;
   double master_fraction = 0.0;
+  /// Net-model series (emitted only when `net_active` — keeps probe CSVs
+  /// of net-off runs byte-identical to pre-net output). Cumulative
+  /// counts, differenced by the plotting side if rates are wanted.
+  bool net_active = false;
+  double net_sent = 0.0;
+  double net_lost = 0.0;
+  double net_rpc_retries = 0.0;
+  double net_stale_fallbacks = 0.0;
+  double net_split_brain_rounds = 0.0;
+  double net_partition_active = 0.0;
 };
 
 struct ProbeSample {

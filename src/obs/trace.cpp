@@ -21,6 +21,7 @@ const char* to_string(Category category) {
     case Category::kReservation: return "reservation";
     case Category::kProbe: return "probe";
     case Category::kLog: return "log";
+    case Category::kNet: return "net";
   }
   return "?";
 }

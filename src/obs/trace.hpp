@@ -34,9 +34,10 @@ enum class Category : std::uint8_t {
   kReservation,  ///< theta'_2 / a_hat / r_hat updates
   kProbe,        ///< periodic time-series samples
   kLog,          ///< structured diagnostics routed into the trace
+  kNet,          ///< interconnect: drops, partitions, RPC retries, reports
 };
 
-inline constexpr std::size_t kCategoryCount = 9;
+inline constexpr std::size_t kCategoryCount = 10;
 
 const char* to_string(Category category);
 
@@ -49,6 +50,7 @@ enum Lane : int {
   kLaneDispatch = 4,
   kLaneControl = 5,   ///< reservation / probe / log events
   kLaneOverload = 6,  ///< shedding / abandonment / breaker / degraded mode
+  kLaneNet = 7,       ///< message drops, partitions, RPC retries, step-downs
 };
 
 /// One "key=value" argument attached to an event. Numeric when `text`

@@ -29,10 +29,15 @@ import sys
 PHASES = {"X", "i", "C", "b", "e", "M"}
 CATEGORIES = {
     "request", "dispatch", "cpu", "disk", "memory",
-    "fault", "reservation", "probe", "log",
+    "fault", "reservation", "probe", "log", "net",
 }
 PROBE_HEADER = ["t_s", "node", "metric", "value"]
 CLUSTER_METRICS = {"a_hat", "r_hat", "theta_limit", "master_fraction"}
+# Present only in runs with the net model enabled (--net).
+NET_METRICS = {
+    "net_sent", "net_lost", "net_rpc_retries", "net_stale_fallbacks",
+    "net_split_brain_rounds", "net_partition_active",
+}
 
 
 def fail(message):
@@ -40,7 +45,7 @@ def fail(message):
     sys.exit(1)
 
 
-def check_trace(path, required_phases):
+def check_trace(path, required_phases, require_net=False):
     try:
         with open(path, encoding="utf-8") as handle:
             doc = json.load(handle)
@@ -54,6 +59,7 @@ def check_trace(path, required_phases):
         fail(f"{path}: traceEvents must be a non-empty array")
 
     phase_counts = collections.Counter()
+    category_counts = collections.Counter()
     pids = set()
     async_depth = collections.Counter()
     for index, event in enumerate(events):
@@ -75,6 +81,7 @@ def check_trace(path, required_phases):
             continue
         if event.get("cat") not in CATEGORIES:
             fail(f"{where} ({name}): bad category {event.get('cat')!r}")
+        category_counts[event["cat"]] += 1
         ts = event.get("ts")
         if not isinstance(ts, (int, float)) or ts < 0:
             fail(f"{where} ({name}): bad ts {ts!r}")
@@ -96,6 +103,8 @@ def check_trace(path, required_phases):
     for phase in required_phases:
         if phase_counts[phase] == 0:
             fail(f"{path}: no {phase!r} events (required)")
+    if require_net and category_counts["net"] == 0:
+        fail(f"{path}: no net-lane events (required by --net)")
     # Dropped requests legitimately leave unmatched begins; an excess of
     # ends can never be legitimate and is caught per-event above.
     open_spans = sum(1 for depth in async_depth.values() if depth > 0)
@@ -105,7 +114,7 @@ def check_trace(path, required_phases):
           f"{len(pids)} pids, {summary}, open_async={open_spans}")
 
 
-def check_probes(path):
+def check_probes(path, require_net=False):
     try:
         with open(path, encoding="utf-8", newline="") as handle:
             reader = csv.reader(handle)
@@ -131,6 +140,10 @@ def check_probes(path):
     missing = CLUSTER_METRICS - metrics
     if missing:
         fail(f"{path}: missing cluster metrics {sorted(missing)}")
+    if require_net:
+        missing_net = NET_METRICS - metrics
+        if missing_net:
+            fail(f"{path}: missing net metrics {sorted(missing_net)}")
     print(f"check_trace: OK: {path}: {rows} samples, "
           f"{len(metrics)} metric series")
 
@@ -142,10 +155,14 @@ def main():
     parser.add_argument(
         "--require-phase", action="append", default=[],
         metavar="PH", help="fail unless the trace has PH events")
+    parser.add_argument(
+        "--net", action="store_true",
+        help="require net-lane trace events and (with --probes) the "
+             "net_* probe metric series")
     options = parser.parse_args()
-    check_trace(options.trace, options.require_phase)
+    check_trace(options.trace, options.require_phase, options.net)
     if options.probes:
-        check_probes(options.probes)
+        check_probes(options.probes, options.net)
 
 
 if __name__ == "__main__":
