@@ -3,9 +3,22 @@
 // generation and the analytic optimizer. These guard the simulator's
 // performance envelope — the fig4 grid dispatches hundreds of millions of
 // events, so regressions here directly inflate experiment wall time.
+//
+// --bench-json FILE additionally replays a canonical grid of whole
+// experiments and writes events/s and wall time per point as a JSON
+// artifact (BENCH_micro.json in CI) so throughput regressions show up in
+// the artifact history, not just in local runs.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
 #include "core/experiment.hpp"
+#include "harness/artifacts.hpp"
 #include "core/rsrc.hpp"
 #include "model/optimize.hpp"
 #include "sim/engine.hpp"
@@ -124,6 +137,72 @@ void BM_EndToEndClusterRun(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndClusterRun);
 
+/// One canonical throughput point: a whole experiment (trace generation +
+/// cluster replay), timed wall-clock.
+harness::ResultRow throughput_row(const std::string& id, int p,
+                                  double lambda, double duration_s) {
+  core::ExperimentSpec spec;
+  spec.profile = trace::ksu_profile();
+  spec.p = p;
+  spec.lambda = lambda;
+  spec.duration_s = duration_s;
+  spec.warmup_s = 0.5;
+  spec.kind = core::SchedulerKind::kMs;
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = core::run_experiment(spec);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  harness::ResultRow row;
+  row.set("point", id)
+      .set("p", p)
+      .set("lambda", lambda)
+      .set("sim_s", duration_s)
+      .set("events", static_cast<unsigned long long>(result.run.events))
+      .set("wall_s", wall_s)
+      .set("events_per_s",
+           wall_s > 0.0 ? static_cast<double>(result.run.events) / wall_s
+                        : 0.0)
+      .set("stretch", result.run.metrics.stretch);
+  return row;
+}
+
+void write_bench_json(const std::string& path) {
+  std::vector<harness::ResultRow> rows;
+  rows.push_back(throughput_row("ms-p8-l300", 8, 300.0, 2.0));
+  rows.push_back(throughput_row("ms-p32-l1000", 32, 1000.0, 2.0));
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  harness::write_json(out, rows);
+  std::printf("wrote %s (%zu throughput points)\n", path.c_str(),
+              rows.size());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --bench-json FILE before google-benchmark sees the argv; every
+  // other flag passes through (--benchmark_filter etc.).
+  std::string bench_json;
+  std::vector<char*> passthrough;
+  passthrough.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--bench-json") == 0 && i + 1 < argc) {
+      bench_json = argv[++i];
+      continue;
+    }
+    if (std::strncmp(argv[i], "--bench-json=", 13) == 0) {
+      bench_json = argv[i] + 13;
+      continue;
+    }
+    passthrough.push_back(argv[i]);
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!bench_json.empty()) write_bench_json(bench_json);
+  return 0;
+}

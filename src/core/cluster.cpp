@@ -34,6 +34,17 @@ ClusterSim::ClusterSim(ClusterConfig config,
     throw std::invalid_argument(
         "cluster: network partitions require the fault layer "
         "(fault.enabled) so membership and health can react");
+  if (config_.ctrl.enabled) {
+    if (config_.ctrl.interval_s <= 0.0)
+      throw std::invalid_argument("cluster: ctrl interval must be > 0");
+    if (config_.ctrl.autoscale && config_.fault.enabled)
+      throw std::invalid_argument(
+          "cluster: autoscaling and the fault layer are mutually "
+          "exclusive (the health monitor would declare drained nodes dead "
+          "and the injector would recover them behind the scaler's back)");
+    if (config_.ctrl.autoscale && config_.ctrl.min_powered < 1)
+      throw std::invalid_argument("cluster: ctrl min_powered must be >= 1");
+  }
 }
 
 RunResult ClusterSim::run(const trace::Trace& trace) {
@@ -45,6 +56,8 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
   obs::CounterRegistry* counters = config_.obs.counters;
   const int cluster_pid = config_.p;  ///< pseudo-pid for cluster-level lanes
   const bool net_on = config_.net.enabled;
+  const bool ctrl_on = config_.ctrl.any();
+  const bool ctrl_scaling = ctrl_on && config_.ctrl.autoscale;
   if (config_.max_events > 0 || config_.wall_budget_s > 0.0) {
     engine.set_guard(config_.max_events, config_.wall_budget_s);
     if (tracer != nullptr)
@@ -67,6 +80,8 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     // Gated on net_on: naming the lane in a net-off run would change the
     // trace bytes and break the ideal() byte-identity contract.
     if (net_on) tracer->name_thread(cluster_pid, obs::kLaneNet, "net");
+    // Same contract for the control plane's lane.
+    if (ctrl_on) tracer->name_thread(cluster_pid, obs::kLaneCtrl, "ctrl");
   }
   // Counter handles resolve once here; a null registry leaves every handle
   // null and obs::bump a no-op.
@@ -102,6 +117,15 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
   std::uint64_t* c_net_partitions = net_counter("net.partitions");
   std::uint64_t* c_net_stepdowns = net_counter("net.stepdowns");
   std::uint64_t* c_net_split_brain = net_counter("net.split_brain_rounds");
+  // ctrl.* counters follow the same gating: absent from ctrl-off runs.
+  const auto ctrl_counter = [&](const char* name) -> std::uint64_t* {
+    return ctrl_on ? counter(name) : nullptr;
+  };
+  std::uint64_t* c_ctrl_retunes = ctrl_counter("ctrl.retunes");
+  std::uint64_t* c_ctrl_scale_ups = ctrl_counter("ctrl.scale_ups");
+  std::uint64_t* c_ctrl_scale_downs = ctrl_counter("ctrl.scale_downs");
+  std::uint64_t* c_ctrl_migrations = ctrl_counter("ctrl.migrations");
+  std::uint64_t* c_ctrl_retargets = ctrl_counter("ctrl.retargets");
 
   sim::NodeObsHooks node_hooks;
   node_hooks.trace = tracer;
@@ -144,6 +168,31 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
   res_cfg.p = config_.p;
   res_cfg.m = config_.m;
   ReservationController reservation(res_cfg);
+
+  // --- self-tuning control plane (absent when disabled: no estimator, no
+  // power state, no extra events — byte-identical to a build without it) ---
+  std::optional<ctrl::ParamEstimator> estimator;
+  std::optional<ctrl::ControlLoop> ctrl_loop;
+  std::vector<char> powered_state;
+  int powered_count = config_.p;
+  int powered_low = config_.p;
+  std::uint64_t ctrl_retunes = 0;
+  std::uint64_t ctrl_scale_ups = 0;
+  std::uint64_t ctrl_scale_downs = 0;
+  std::uint64_t ctrl_migrations = 0;
+  std::uint64_t ctrl_retargets = 0;
+  double energy_acc_node_s = 0.0;  ///< powered node-seconds, closed windows
+  Time energy_mark = 0;            ///< start of the open window
+  if (ctrl_on) {
+    ctrl::EstimatorConfig est_cfg;
+    est_cfg.alpha = config_.ctrl.estimate_alpha;
+    est_cfg.initial_w = config_.ctrl.initial_w;
+    est_cfg.initial_r = config_.reservation.initial_r;
+    estimator.emplace(est_cfg);
+    ctrl_loop.emplace(config_.ctrl, config_.p);
+    if (ctrl_scaling) powered_state.assign(
+        static_cast<std::size_t>(config_.p), 1);
+  }
 
   // --- network fault model (absent when disabled: NetworkParams::ideal()
   // constructs nothing and the paper's perfect-wire path runs unchanged) ---
@@ -334,6 +383,11 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     view.stale_max_age_s = config_.net.stale_max_age_s;
     view.stale_fallbacks = &stale_fallbacks;
   }
+  if (ctrl_on) {
+    view.ctrl_active = true;
+    if (config_.ctrl.use_estimated_w) view.ctrl_w = estimator->w_ref();
+    if (ctrl_scaling) view.powered = &powered_state;
+  }
   view.decisions = config_.obs.decisions;
   view.reservation_rejections = counter("dispatch.reservation_rejections");
 
@@ -398,9 +452,25 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
           metrics.record(job, completion);
           reservation.record_completion(job.request.is_dynamic(),
                                         completion - job.cluster_arrival);
+          // Completed-job accounting for the online estimator: the OS
+          // model consumed exactly the record's demand and CPU share, so
+          // they are the finished request's ground truth (what a real
+          // server reads from rusage at response time).
+          if (ctrl_on)
+            estimator->on_completion(job.request.is_dynamic(),
+                                     to_seconds(job.request.service_demand),
+                                     job.request.cpu_fraction);
           if (job.request.is_dynamic()) {
-            for (auto& feedback : feedbacks)
-              feedback.note_dynamic_demand(job.request.service_demand);
+            if (net_on) {
+              // No oracle broadcast with the net model on: only the master
+              // that served the response learns its demand — the others
+              // refresh from their own completions.
+              feedbacks[static_cast<std::size_t>(job.receiver)]
+                  .note_dynamic_demand(job.request.service_demand);
+            } else {
+              for (auto& feedback : feedbacks)
+                feedback.note_dynamic_demand(job.request.service_demand);
+            }
             if (cache_on)
               caches[static_cast<std::size_t>(job.receiver)].insert(
                   job.request.url_id, completion);
@@ -408,6 +478,12 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
           if (--remaining == 0) engine.stop();
         });
   }
+
+  // Routes one admitted job and hands it to the chosen node. Defined
+  // below (it needs the failover/net lambdas); declared here because the
+  // net delivery path and the control plane's drain migration call back
+  // into it.
+  std::function<void(sim::Job)> route_and_submit;
 
   // Failover: a job stranded by a crash (in flight on the node, or routed
   // to it before the failure was detected) is re-dispatched with the
@@ -519,9 +595,16 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
               // Delivered to a node that died mid-flight: failover.
               if (overload_on) overload->note_dispatch_failure(target_idx);
               redispatch(std::move(job));
+            } else if (ctrl_scaling) {
+              // Delivered to a node the autoscaler powered down mid-
+              // flight: re-route like a drained job.
+              ++ctrl_migrations;
+              obs::bump(c_ctrl_migrations);
+              route_and_submit(std::move(job));
             }
-            // Without the fault layer nodes never crash, so the branch
-            // above is the only way a delivered job can miss its target.
+            // Without the fault layer or autoscaler nodes never go away,
+            // so the branches above are the only ways a delivered job can
+            // miss its target.
           },
           /*on_fail=*/
           [&, job, target_idx]() mutable {
@@ -616,8 +699,11 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
   }
 
   // Periodic theta'_2 recomputation, running as long as work remains.
+  // When the control plane owns the tuning, the unslewed update() would
+  // stomp the slew-limited retune; the tick then only snapshots counters.
+  const bool tuner_active = ctrl_on && config_.ctrl.tune_reservation;
   std::function<void()> reservation_tick = [&] {
-    reservation.update();
+    if (!tuner_active) reservation.update();
     obs::bump(c_reservation_updates);
     if (tracer != nullptr) {
       const Time now = engine.now();
@@ -678,6 +764,14 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
         cluster_probe.net_partition_active =
             network->partition_active() ? 1.0 : 0.0;
       }
+      if (ctrl_on) {
+        cluster_probe.ctrl_active = true;
+        cluster_probe.ctrl_w_hat = estimator->w_hat();
+        cluster_probe.ctrl_r_hat = estimator->r_hat();
+        cluster_probe.ctrl_theta_target = reservation.theta_limit();
+        cluster_probe.ctrl_powered = static_cast<double>(powered_count);
+        cluster_probe.ctrl_m = static_cast<double>(view.m);
+      }
       probes->sample(now, node_probes, cluster_probe);
       if (remaining > 0) engine.schedule_after(probes->interval(), probe_tick);
     };
@@ -687,7 +781,7 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
   // Routes one admitted job and hands it to the chosen node (charging the
   // remote hop when needed). Shared by first dispatch and by client
   // retries of shed requests, so both take the identical path.
-  auto route_and_submit = [&](sim::Job job) {
+  route_and_submit = [&](sim::Job job) {
     const trace::TraceRecord& rec = job.request;
     view.now = engine.now();
     Decision decision = dispatcher_->route(rec, view);
@@ -752,12 +846,29 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
               if (target->alive()) {
                 if (overload_on) overload->note_on_node(job.id, target_idx);
                 target->submit(job);
+              } else if (ctrl_scaling) {
+                // Powered down mid-hop (faults excluded by construction):
+                // re-route, don't burn a failover retry.
+                ++ctrl_migrations;
+                obs::bump(c_ctrl_migrations);
+                route_and_submit(job);
               } else {
                 if (overload_on)
                   overload->note_dispatch_failure(target_idx);
                 redispatch(job);
               }
             });
+      } else if (ctrl_scaling) {
+        engine.schedule_after(config_.os.remote_cgi_latency,
+                              [&, target, job] {
+                                if (target->alive()) {
+                                  target->submit(job);
+                                  return;
+                                }
+                                ++ctrl_migrations;
+                                obs::bump(c_ctrl_migrations);
+                                route_and_submit(job);
+                              });
       } else {
         engine.schedule_after(config_.os.remote_cgi_latency,
                               [target, job] { target->submit(job); });
@@ -765,11 +876,139 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     } else if (faults_on && !target->alive()) {
       if (overload_on) overload->note_dispatch_failure(target_idx);
       redispatch(job);
+    } else if (ctrl_scaling && !target->alive()) {
+      // The dispatcher's powered gate should make this unreachable, but a
+      // same-instant race costs only a re-route, never a lost job.
+      ++ctrl_migrations;
+      obs::bump(c_ctrl_migrations);
+      route_and_submit(std::move(job));
     } else {
       if (overload_on) overload->note_on_node(job.id, target_idx);
       target->submit(job);
     }
   };
+
+  // Control tick: telemetry in, actions out, side effects executed here.
+  // With the net model on the telemetry comes from the front-end master's
+  // stale report feed — the controller sees exactly what crossed the wire,
+  // so it honestly degrades (and retunes on old data) under partitions.
+  std::function<void()> ctrl_tick;
+  if (ctrl_on) {
+    ctrl_tick = [&] {
+      const Time now = engine.now();
+      ctrl::Telemetry telemetry;
+      telemetry.now = now;
+      telemetry.powered = powered_count;
+      telemetry.masters = view.m;
+      telemetry.a_hat = reservation.a_hat_live();
+      const std::vector<LoadInfo>& seen =
+          net_on ? stale_view->seen_by(0) : monitor.all();
+      telemetry.busy.reserve(static_cast<std::size_t>(powered_count));
+      for (int n = 0; n < powered_count; ++n) {
+        const LoadInfo& info = seen[static_cast<std::size_t>(n)];
+        telemetry.busy.push_back(std::max(1.0 - info.cpu_idle_ratio,
+                                          1.0 - info.disk_avail_ratio));
+      }
+      const ctrl::Actions actions = ctrl_loop->plan(telemetry, *estimator);
+
+      if (actions.retune) {
+        reservation.retune(actions.a, actions.r, actions.slew);
+        ++ctrl_retunes;
+        obs::bump(c_ctrl_retunes);
+        if (tracer != nullptr)
+          tracer->instant(obs::Category::kCtrl, "retune", cluster_pid,
+                          obs::kLaneCtrl, now,
+                          {{"theta", reservation.theta_limit()},
+                           {"w_hat", estimator->w_hat()},
+                           {"r_hat", actions.r},
+                           {"a_hat", actions.a}});
+      }
+
+      bool membership_dirty = false;
+      if (actions.scale == ctrl::ScaleAction::kUp &&
+          powered_count < config_.p) {
+        const int woken = powered_count;
+        energy_acc_node_s +=
+            static_cast<double>(powered_count) * to_seconds(now - energy_mark);
+        energy_mark = now;
+        node_ptrs[static_cast<std::size_t>(woken)]->power_up();
+        powered_state[static_cast<std::size_t>(woken)] = 1;
+        ++powered_count;
+        ++ctrl_scale_ups;
+        obs::bump(c_ctrl_scale_ups);
+        membership_dirty = true;
+        if (tracer != nullptr)
+          tracer->instant(obs::Category::kCtrl, "scale-up", cluster_pid,
+                          obs::kLaneCtrl, now,
+                          {{"node", woken}, {"powered", powered_count}});
+        obs::logf(obs::LogLevel::kInfo, "ctrl",
+                  "t=%.3fs scale-up: node %d powered (now %d)",
+                  to_seconds(now), woken, powered_count);
+      } else if (actions.scale == ctrl::ScaleAction::kDown &&
+                 powered_count - 1 >= view.m &&
+                 powered_count - 1 >= config_.ctrl.min_powered) {
+        // Powered-prefix invariant: drain the highest powered node, which
+        // is never a master.
+        const int victim = powered_count - 1;
+        energy_acc_node_s +=
+            static_cast<double>(powered_count) * to_seconds(now - energy_mark);
+        energy_mark = now;
+        powered_state[static_cast<std::size_t>(victim)] = 0;
+        --powered_count;
+        powered_low = std::min(powered_low, powered_count);
+        std::vector<sim::Job> drained =
+            node_ptrs[static_cast<std::size_t>(victim)]->power_down();
+        ++ctrl_scale_downs;
+        obs::bump(c_ctrl_scale_downs);
+        membership_dirty = true;
+        if (tracer != nullptr)
+          tracer->instant(obs::Category::kCtrl, "scale-down", cluster_pid,
+                          obs::kLaneCtrl, now,
+                          {{"node", victim},
+                           {"powered", powered_count},
+                           {"drained",
+                            static_cast<std::uint64_t>(drained.size())}});
+        obs::logf(obs::LogLevel::kInfo, "ctrl",
+                  "t=%.3fs scale-down: node %d drained (%zu jobs migrate, "
+                  "now %d powered)",
+                  to_seconds(now), victim, drained.size(), powered_count);
+        // Drained jobs migrate over the remote-dispatch hop, never lost.
+        for (sim::Job& job : drained) {
+          ++ctrl_migrations;
+          obs::bump(c_ctrl_migrations);
+          if (overload_on) overload->note_waiting(job.id);
+          sim::Job moved = std::move(job);
+          engine.schedule_after(
+              config_.os.remote_cgi_latency, [&, moved]() mutable {
+                if (overload_on && overload->consume_abandoned(moved.id))
+                  return;
+                route_and_submit(std::move(moved));
+              });
+        }
+      }
+
+      if (actions.masters_target != view.m) {
+        view.m = actions.masters_target;
+        ++ctrl_retargets;
+        obs::bump(c_ctrl_retargets);
+        membership_dirty = true;
+        if (tracer != nullptr)
+          tracer->instant(obs::Category::kCtrl, "retarget", cluster_pid,
+                          obs::kLaneCtrl, now, {{"m", view.m}});
+        obs::logf(obs::LogLevel::kInfo, "ctrl",
+                  "t=%.3fs retarget: m -> %d", to_seconds(now), view.m);
+      }
+      if (membership_dirty)
+        // Theorem 1 re-solves immediately on a cluster-shape change (the
+        // cluster changed, not the estimate) — same rule as failover.
+        reservation.set_membership(powered_count, view.m);
+
+      if (remaining > 0)
+        engine.schedule_after(from_seconds(config_.ctrl.interval_s),
+                              ctrl_tick);
+    };
+    engine.schedule_after(from_seconds(config_.ctrl.interval_s), ctrl_tick);
+  }
 
   // Load shedding: a shed request is retried by the client with the shared
   // backoff curve up to max_retries times, then counted shed for good —
@@ -836,6 +1075,7 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     job.id = next_id++;
     job.request = rec;
     job.cluster_arrival = engine.now();
+    if (ctrl_on) estimator->on_arrival();
     if (overload_on) overload->arm_deadline(job);
     if (faults_on && declared_healthy() == 0) {
       // Total outage: no declared-healthy front end can accept the
@@ -893,6 +1133,23 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     if (c_net_stale_fallbacks != nullptr)
       *c_net_stale_fallbacks = stale_fallbacks;
   }
+  if (ctrl_on) {
+    result.ctrl_enabled = true;
+    result.ctrl_retunes = ctrl_retunes;
+    result.ctrl_scale_ups = ctrl_scale_ups;
+    result.ctrl_scale_downs = ctrl_scale_downs;
+    result.ctrl_migrations = ctrl_migrations;
+    result.ctrl_retargets = ctrl_retargets;
+    result.ctrl_w_hat = estimator->w_hat();
+    result.ctrl_r_hat = estimator->r_hat();
+  }
+  result.powered_min = powered_low;
+  result.energy_node_s =
+      ctrl_scaling
+          ? energy_acc_node_s +
+                static_cast<double>(powered_count) *
+                    to_seconds(end - energy_mark)
+          : static_cast<double>(config_.p) * to_seconds(end);
   if (overload_on) {
     result.shed = overload->shed_count();
     result.abandoned = overload->abandoned_count();

@@ -16,6 +16,7 @@
 #include "core/metrics.hpp"
 #include "core/policy.hpp"
 #include "core/reservation.hpp"
+#include "ctrl/controller.hpp"
 #include "fault/fault.hpp"
 #include "net/network.hpp"
 #include "obs/observer.hpp"
@@ -67,6 +68,14 @@ struct ClusterConfig {
   /// the disabled config (== NetworkParams::ideal()) constructs nothing
   /// and keeps the run byte-identical to a build without src/net/.
   net::NetworkParams net;
+  /// Self-tuning control plane (see ctrl::CtrlConfig): online w/r
+  /// estimation feeding RSRC, slew-limited theta'_2 retuning, hysteretic
+  /// autoscaling with drain-and-migrate power-downs. Disabled by default;
+  /// a disabled config constructs nothing and keeps the run byte-identical
+  /// to a build without src/ctrl/. Autoscaling and the fault layer are
+  /// mutually exclusive (the health monitor would declare drained nodes
+  /// dead and the injector would double-recover them).
+  ctrl::CtrlConfig ctrl;
   /// Optional tail-window start for MetricsSummary::stretch_tail
   /// (<= 0 disables); used to measure post-failover recovery.
   Time metrics_tail_start = 0;
@@ -130,6 +139,19 @@ struct RunResult {
   /// Completions inside their SLO per second of measured (post-warmup)
   /// simulated time — the headline graceful-degradation metric.
   double goodput_rps = 0.0;
+  /// Control-plane statistics (defaults when the subsystem is off).
+  bool ctrl_enabled = false;
+  std::uint64_t ctrl_retunes = 0;     ///< reservation retune ticks applied
+  std::uint64_t ctrl_scale_ups = 0;   ///< nodes powered up
+  std::uint64_t ctrl_scale_downs = 0; ///< nodes drained and powered down
+  std::uint64_t ctrl_migrations = 0;  ///< jobs migrated off drained nodes
+  std::uint64_t ctrl_retargets = 0;   ///< master-count steps applied
+  double ctrl_w_hat = 0.0;            ///< final estimated w
+  double ctrl_r_hat = 0.0;            ///< final estimated r
+  /// Powered node-seconds over the whole run (the energy axis of the
+  /// ext_ctrl Pareto drill; == p * sim_seconds without autoscaling).
+  double energy_node_s = 0.0;
+  int powered_min = 0;  ///< smallest powered count reached
 };
 
 class ClusterSim {

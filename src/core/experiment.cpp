@@ -66,6 +66,41 @@ int msprime_k_from_model(const model::Workload& w) {
   return std::clamp(static_cast<int>(std::lround(share * w.p)), 1, w.p);
 }
 
+trace::Trace generate_trace(const ExperimentSpec& spec) {
+  trace::GeneratorConfig gen;
+  gen.profile = spec.profile;
+  gen.lambda = spec.lambda;
+  gen.duration_s = spec.duration_s;
+  gen.mu_h = spec.mu_h;
+  gen.r = spec.r;
+  gen.seed = spec.seed;
+  gen.bursty = spec.bursty;
+  gen.diurnal = spec.diurnal;
+  gen.diurnal_period_s = spec.diurnal_period_s;
+  gen.diurnal_amplitude = spec.diurnal_amplitude;
+  gen.cgi_distinct_urls = spec.cgi_distinct_urls;
+  gen.cgi_zipf_s = spec.cgi_zipf_s;
+  if (spec.flip_at_s <= 0.0 || spec.flip_at_s >= spec.duration_s)
+    return trace::generate(gen);
+
+  // Mid-run workload flip: segment one runs the base profile up to the
+  // flip instant, segment two runs flip_profile for the remainder on an
+  // independent seed stream, arrivals offset so the splice is seamless.
+  gen.duration_s = spec.flip_at_s;
+  trace::Trace trace = trace::generate(gen);
+  gen.profile = spec.flip_profile;
+  gen.duration_s = spec.duration_s - spec.flip_at_s;
+  gen.seed = spec.seed ^ 0x9E3779B97F4A7C15ULL;
+  trace::Trace tail = trace::generate(gen);
+  const Time offset = from_seconds(spec.flip_at_s);
+  trace.records.reserve(trace.records.size() + tail.records.size());
+  for (auto& rec : tail.records) {
+    rec.arrival += offset;
+    trace.records.push_back(rec);
+  }
+  return trace;
+}
+
 ExperimentResult run_experiment(const ExperimentSpec& spec) {
   const model::Workload analytic = analytic_workload(spec);
 
@@ -78,6 +113,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   config.fault = spec.fault;
   config.overload = spec.overload;
   config.net = spec.net;
+  config.ctrl = spec.ctrl;
   if (spec.metrics_tail_start_s > 0.0)
     config.metrics_tail_start = from_seconds(spec.metrics_tail_start_s);
   config.node_params = spec.node_params;
@@ -105,22 +141,13 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   config.reservation.initial_a = analytic.a;
   config.initial_dynamic_demand_s = 1.0 / (spec.r * spec.mu_h);
 
-  trace::GeneratorConfig gen;
-  gen.profile = spec.profile;
-  gen.lambda = spec.lambda;
-  gen.duration_s = spec.duration_s;
-  gen.mu_h = spec.mu_h;
-  gen.r = spec.r;
-  gen.seed = spec.seed;
-  gen.bursty = spec.bursty;
-  gen.cgi_distinct_urls = spec.cgi_distinct_urls;
-  gen.cgi_zipf_s = spec.cgi_zipf_s;
-  const trace::Trace trace = trace::generate(gen);
+  const trace::Trace trace = generate_trace(spec);
 
   MsOptions ms_options;
   ms_options.rsrc_tolerance = spec.rsrc_tolerance;
   ms_options.binary_admission = spec.binary_admission;
   ms_options.speed_aware = spec.speed_aware;
+  ms_options.fixed_w = spec.fixed_w;
 
   std::unique_ptr<Dispatcher> dispatcher;
   if (spec.dispatcher_factory) {

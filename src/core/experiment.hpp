@@ -50,6 +50,10 @@ struct ExperimentSpec {
   /// stale load reports, quorum membership; disabled by default — see
   /// net::NetworkParams); passed through to the cluster unchanged.
   net::NetworkParams net;
+  /// Self-tuning control plane (online w/r estimation, theta'_2 retuning,
+  /// autoscaling; disabled by default — see ctrl::CtrlConfig); passed
+  /// through to the cluster unchanged.
+  ctrl::CtrlConfig ctrl;
   /// Tail-window start (seconds) for MetricsSummary::stretch_tail;
   /// <= 0 disables. Used to measure post-failover recovery.
   double metrics_tail_start_s = 0.0;
@@ -58,6 +62,22 @@ struct ExperimentSpec {
   double a = 0.0;
   /// MMPP-bursty arrivals in the generated trace.
   bool bursty = false;
+  /// Diurnal arrival-rate modulation (thinned sinusoid, see
+  /// trace::GeneratorConfig) — the autoscaling Pareto drill's day/night
+  /// cycle.
+  bool diurnal = false;
+  double diurnal_period_s = 20.0;
+  double diurnal_amplitude = 0.6;
+  /// Mid-run workload flip (the ext_ctrl adaptation drill): when
+  /// flip_at_s is in (0, duration_s), arrivals after that instant are
+  /// generated from flip_profile instead of profile (independent seed
+  /// stream, arrivals offset to splice seamlessly). 0 disables.
+  double flip_at_s = 0.0;
+  trace::WorkloadProfile flip_profile;
+  /// Frozen cluster-wide CPU-share w for RSRC (>= 0 enables; see
+  /// MsOptions::fixed_w). The "stale sampled w" baseline the flip drill
+  /// compares the online estimator against. -1 keeps per-request w.
+  double fixed_w = -1.0;
   /// Distinct dynamic content items and their Zipf skew (passed to the
   /// trace generator; defaults match trace::GeneratorConfig).
   std::uint64_t cgi_distinct_urls = 5000;
@@ -109,6 +129,11 @@ struct ExperimentResult {
   int k_used = 0;
   std::string scheduler;
 };
+
+/// The input trace for a spec — including the mid-run workload flip and
+/// diurnal modulation when configured. Deterministic in the spec; exposed
+/// so tests and drills can inspect the exact trace a run will replay.
+trace::Trace generate_trace(const ExperimentSpec& spec);
 
 /// Generates the trace for the spec and replays it through the configured
 /// cluster. Deterministic in the spec.

@@ -56,6 +56,12 @@ void log_decision(ClusterView& view, const Decision& decision, bool dynamic,
   record.w = decision.rsrc_w;
   record.reason = reason;
   record.stale_s = stale_s;
+  if (view.ctrl_active) {
+    record.w_hat = view.ctrl_w != nullptr ? *view.ctrl_w : -1.0;
+    record.theta_eff = view.reservation != nullptr
+                           ? view.reservation->theta_limit()
+                           : -1.0;
+  }
   if (candidates != nullptr && load != nullptr)
     record.candidates =
         score_candidates(decision.rsrc_w, *candidates, *load, speeds);
@@ -154,10 +160,11 @@ class FlatDispatcher final : public Dispatcher {
       return decision;
     }
     // DNS/switch baseline: uniformly random node, executed where received.
-    // With circuit breakers the pool shrinks to the admitted nodes; an
-    // untripped bank yields the full range, so the draw is unchanged.
+    // With circuit breakers (or autoscaler power state) the pool shrinks
+    // to the admitted nodes; an untripped bank yields the full range, so
+    // the draw is unchanged.
     int node;
-    if (view.breakers != nullptr) {
+    if (view.pool_gated()) {
       healthy_.clear();
       for (int n = 0; n < view.p; ++n)
         if (view.node_healthy(n)) healthy_.push_back(n);
@@ -195,7 +202,7 @@ class MsDispatcher final : public Dispatcher {
     // admitted masters when the bank is wired in; an untripped bank yields
     // the full range, preserving the draw).
     int receiver;
-    if (view.breakers != nullptr) {
+    if (view.pool_gated()) {
       masters_.clear();
       for (int n = 0; n < masters; ++n)
         if (view.node_healthy(n)) masters_.push_back(n);
@@ -232,11 +239,24 @@ class MsDispatcher final : public Dispatcher {
         if (view.node_healthy(n)) candidates_.push_back(n);
     for (int n = masters; n < view.p; ++n)
       if (view.node_healthy(n)) candidates_.push_back(n);
+    if (candidates_.empty()) {
+      // All gates closed at once: fall back to every powered node (every
+      // node when there is no power state to consult).
+      for (int n = 0; n < view.p; ++n)
+        if (view.powered == nullptr ||
+            (*view.powered)[static_cast<std::size_t>(n)])
+          candidates_.push_back(n);
+    }
     if (candidates_.empty())
       for (int n = 0; n < view.p; ++n) candidates_.push_back(n);
 
-    const double w =
-        options_.sample_demand ? request.cpu_fraction : 0.5;
+    const double w = view.ctrl_w != nullptr
+                         ? *view.ctrl_w
+                         : (options_.fixed_w >= 0.0
+                                ? options_.fixed_w
+                                : (options_.sample_demand
+                                       ? request.cpu_fraction
+                                       : 0.5));
     const std::vector<sim::NodeParams>* speeds =
         options_.speed_aware ? view.node_params : nullptr;
     const std::vector<LoadInfo>& seen = view.load_seen_by(receiver);
@@ -318,8 +338,13 @@ class MsDispatcher final : public Dispatcher {
     }
     if (candidates_.empty()) candidates_ = masters_;
 
-    const double w =
-        options_.sample_demand ? request.cpu_fraction : 0.5;
+    const double w = view.ctrl_w != nullptr
+                         ? *view.ctrl_w
+                         : (options_.fixed_w >= 0.0
+                                ? options_.fixed_w
+                                : (options_.sample_demand
+                                       ? request.cpu_fraction
+                                       : 0.5));
     const std::vector<sim::NodeParams>* speeds =
         options_.speed_aware ? view.node_params : nullptr;
     const std::vector<LoadInfo>& seen = view.load_seen_by(receiver);
@@ -379,13 +404,14 @@ class MsPrimeDispatcher final : public Dispatcher {
         if (view.node_healthy(n) && view.reachable_from(receiver, n))
           candidates_.push_back(n);
       if (candidates_.empty()) candidates_ = healthy_;
+      const double w = view.ctrl_w != nullptr ? *view.ctrl_w
+                                              : request.cpu_fraction;
       const std::vector<LoadInfo>& seen = view.load_seen_by(receiver);
-      const PickOutcome picked =
-          pick_candidate(view, receiver, request.cpu_fraction, candidates_,
-                         seen, nullptr, 0.30);
+      const PickOutcome picked = pick_candidate(view, receiver, w,
+                                                candidates_, seen, nullptr,
+                                                0.30);
       const int target = candidates_[picked.index];
-      const Decision decision{target, target != receiver,
-                              request.cpu_fraction, receiver};
+      const Decision decision{target, target != receiver, w, receiver};
       log_decision(view, decision, true,
                    picked.reason != nullptr ? picked.reason
                                             : "min-rsrc-dedicated",
@@ -393,7 +419,7 @@ class MsPrimeDispatcher final : public Dispatcher {
       return decision;
     }
     int receiver;
-    if (view.breakers != nullptr) {
+    if (view.pool_gated()) {
       healthy_.clear();
       for (int n = 0; n < view.p; ++n)
         if (view.node_healthy(n)) healthy_.push_back(n);
@@ -414,13 +440,13 @@ class MsPrimeDispatcher final : public Dispatcher {
       if (view.node_healthy(n)) candidates_.push_back(n);
     if (candidates_.empty())
       for (int n = 0; n < k; ++n) candidates_.push_back(n);
+    const double w = view.ctrl_w != nullptr ? *view.ctrl_w
+                                            : request.cpu_fraction;
     const std::vector<LoadInfo>& seen = view.load_seen_by(receiver);
-    const PickOutcome picked = pick_candidate(
-        view, receiver, request.cpu_fraction, candidates_, seen, nullptr,
-        0.30);
+    const PickOutcome picked = pick_candidate(view, receiver, w, candidates_,
+                                              seen, nullptr, 0.30);
     const int target = candidates_[picked.index];
-    const Decision decision{target, target != receiver, request.cpu_fraction,
-                            receiver};
+    const Decision decision{target, target != receiver, w, receiver};
     log_decision(view, decision, true,
                  picked.reason != nullptr ? picked.reason
                                           : "min-rsrc-dedicated",

@@ -82,6 +82,18 @@ struct ClusterView {
   /// Counter bumped on every two-choices fallback; null = untracked.
   std::uint64_t* stale_fallbacks = nullptr;
 
+  // --- control plane (src/ctrl/; all null/false when ctrl is off —
+  //     policies then keep the per-request sampled-w behavior) ---
+  /// Live estimated RSRC weight from the online ParamEstimator; non-null
+  /// overrides both the per-request sampled w and MsOptions::fixed_w.
+  const double* ctrl_w = nullptr;
+  /// Autoscaler power state: entry != 0 means the node is powered. A
+  /// powered-down node leaves candidate pools through the same
+  /// node_healthy gate the failover layer uses.
+  const std::vector<char>* powered = nullptr;
+  /// Stamps the decision log's w_hat / theta_eff columns.
+  bool ctrl_active = false;
+
   // --- observability (all null by default: no effect, no cost beyond one
   //     branch per decision) ---
   /// Structured per-dispatch records (candidate scores, chosen node,
@@ -115,10 +127,22 @@ struct ClusterView {
                    : network->reachable(src, node);
   }
 
+  /// Whether receiver pools must be built from node_healthy-filtered
+  /// candidates instead of the plain [0, n) range. An untripped breaker
+  /// bank / fully-powered cluster yields the full range either way, so
+  /// the RNG draw is unchanged when the gate first turns on.
+  bool pool_gated() const {
+    return breakers != nullptr || powered != nullptr;
+  }
+
   /// Declared-healthy check; always true without the failover layer. An
   /// open circuit breaker also fails it (and an open breaker past its
-  /// cooldown transitions to half-open here, admitting one probe).
+  /// cooldown transitions to half-open here, admitting one probe), as
+  /// does a powered-down node (autoscaler).
   bool node_healthy(int node) const {
+    if (powered != nullptr &&
+        !(*powered)[static_cast<std::size_t>(node)])
+      return false;
     if (health != nullptr &&
         (*health)[static_cast<std::size_t>(node)] !=
             fault::NodeHealth::kHealthy)
@@ -163,6 +187,11 @@ struct MsOptions {
   /// Heterogeneous extension: weight RSRC by per-node CPU/disk speeds when
   /// the cluster provides them (rsrc_cost_heterogeneous).
   bool speed_aware = false;
+  /// Frozen cluster-wide w (>= 0 enables): RSRC uses this instead of the
+  /// per-request sampled value — the "offline-sampled once, never
+  /// revisited" baseline the ext_ctrl flip drill compares the online
+  /// estimator against. A live ClusterView::ctrl_w still takes priority.
+  double fixed_w = -1.0;
 };
 
 std::unique_ptr<Dispatcher> make_flat();

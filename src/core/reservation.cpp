@@ -50,6 +50,19 @@ void ReservationController::record_dynamic_routing(bool to_master) {
   master_fraction_ += config_.routing_alpha * (x - master_fraction_);
 }
 
+void ReservationController::retune(double a, double r, double max_step) {
+  a_hat_ = std::max(a, 1e-9);
+  r_hat_ = std::clamp(r, config_.r_min, config_.r_max);
+  if (config_.m == 0 || degraded_) {
+    theta_limit_ = 0.0;
+    return;
+  }
+  const double target =
+      theta_limit_for(config_.p, config_.m, r_hat_, a_hat_);
+  theta_limit_ +=
+      std::clamp(target - theta_limit_, -max_step, max_step);
+}
+
 void ReservationController::set_membership(int p, int m) {
   // p == 0 is a legitimate transient — a total outage with every node
   // declared dead — and simply closes the reservation until nodes return.

@@ -59,6 +59,16 @@ class ReservationController {
   /// (the load managers "update theta'_2 periodically", §4).
   void update();
 
+  /// Control-plane retune (src/ctrl/): replaces the internal (a, r)
+  /// estimates with the control plane's and moves theta'_2 toward the
+  /// Theorem 1 target by at most `max_step` (slew-rate limiting, so a
+  /// noisy estimate cannot slam the reservation open or shut in one
+  /// tick). Composes with the other theta writers: set_membership still
+  /// re-solves immediately on churn (the cluster changed, not the
+  /// estimate) and degraded mode still clamps to zero — retune holds the
+  /// limit at zero while degraded or masterless.
+  void retune(double a, double r, double max_step);
+
   /// Membership change under churn: re-sizes Theorem 1 from the
   /// *effective* node/master counts (crashed nodes excluded, promoted
   /// slaves included) and recomputes theta'_2 immediately. m == 0 (all
@@ -107,6 +117,14 @@ class ReservationController {
   double theta_limit() const { return theta_limit_; }
   double master_fraction() const { return master_fraction_; }
   double a_hat() const { return a_hat_; }
+  /// Current arrival-mix estimate of a without committing it — the
+  /// control plane reads this each tick and feeds it back via retune()
+  /// (the committed a_hat_ then moves under the slew-limited schedule).
+  double a_hat_live() const {
+    if (!arrival_mix_.primed()) return a_hat_;
+    const double frac = std::clamp(arrival_mix_.value(), 0.0, 0.999);
+    return frac / (1.0 - frac);
+  }
   double r_hat() const { return r_hat_; }
   int masters() const { return config_.m; }
   int nodes() const { return config_.p; }

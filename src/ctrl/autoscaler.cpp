@@ -1,0 +1,27 @@
+#include "ctrl/autoscaler.hpp"
+
+namespace wsched::ctrl {
+
+Autoscaler::Autoscaler(const AutoscalerConfig& config)
+    : config_(config), signal_(config.signal_alpha) {}
+
+ScaleAction Autoscaler::on_signal(double mean_busy, int powered, int total,
+                                  Time now) {
+  signal_.add(mean_busy);
+  if (switched_once_ && now - last_switch_ < from_seconds(config_.dwell_s))
+    return ScaleAction::kNone;
+  const double busy = signal_.value();
+  if (busy > config_.up_threshold && powered < total) {
+    last_switch_ = now;
+    switched_once_ = true;
+    return ScaleAction::kUp;
+  }
+  if (busy < config_.down_threshold && powered > config_.min_powered) {
+    last_switch_ = now;
+    switched_once_ = true;
+    return ScaleAction::kDown;
+  }
+  return ScaleAction::kNone;
+}
+
+}  // namespace wsched::ctrl

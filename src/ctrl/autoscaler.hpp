@@ -1,0 +1,53 @@
+// Hysteretic autoscaler: powers slave nodes on and off against a smoothed
+// cluster-busy signal, in the spirit of the c/mu-rule for group-server
+// queues (dynamic on/off server scheduling, PAPERS.md). Two thresholds
+// with a dwell time prevent flapping: scale up when the smoothed busy
+// fraction exceeds up_threshold, scale down below down_threshold, never
+// switching twice within dwell_s.
+//
+// The scaler only *decides*; the cluster executes, maintaining the
+// powered-prefix invariant (powered nodes are exactly [0, powered_count),
+// so masters [0, m) are always powered and the next node to power up or
+// drain is unambiguous).
+#pragma once
+
+#include <cstdint>
+
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace wsched::ctrl {
+
+enum class ScaleAction : std::uint8_t { kNone, kUp, kDown };
+
+struct AutoscalerConfig {
+  /// Smoothed mean busy fraction above which a node is powered up.
+  double up_threshold = 0.75;
+  /// ... and below which one is powered down (hysteresis band).
+  double down_threshold = 0.30;
+  /// Minimum time between power actions.
+  double dwell_s = 2.0;
+  /// Never power below this many nodes (masters need somewhere to live).
+  int min_powered = 2;
+  /// EWMA weight for the busy signal.
+  double signal_alpha = 0.3;
+};
+
+class Autoscaler {
+ public:
+  explicit Autoscaler(const AutoscalerConfig& config);
+
+  /// Feeds one busy sample (mean busy fraction over powered nodes) and
+  /// returns the action to take given the current powered count.
+  ScaleAction on_signal(double mean_busy, int powered, int total, Time now);
+
+  double signal() const { return signal_.primed() ? signal_.value() : 0.0; }
+
+ private:
+  AutoscalerConfig config_;
+  Ewma signal_;
+  Time last_switch_ = 0;
+  bool switched_once_ = false;
+};
+
+}  // namespace wsched::ctrl

@@ -1,0 +1,92 @@
+#include "ctrl/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/optimize.hpp"
+#include "model/queueing.hpp"
+
+namespace wsched::ctrl {
+
+ControlLoop::ControlLoop(const CtrlConfig& config, int total_nodes)
+    : config_(config),
+      total_(total_nodes),
+      scaler_([&config] {
+        AutoscalerConfig sc;
+        sc.up_threshold = config.scale_up_util;
+        sc.down_threshold = config.scale_down_util;
+        sc.dwell_s = config.dwell_s;
+        sc.min_powered = config.min_powered;
+        sc.signal_alpha = config.signal_alpha;
+        return sc;
+      }()) {}
+
+int ControlLoop::masters_for(const Telemetry& telemetry,
+                             const ParamEstimator& estimator) const {
+  if (telemetry.powered < 2) return 1;
+  model::Workload w;
+  w.p = telemetry.powered;
+  w.lambda = estimator.lambda_hat();
+  w.mu_h = estimator.mu_h_hat();
+  w.a = std::max(telemetry.a_hat, 1e-6);
+  w.r = std::max(estimator.r_hat(), 1e-6);
+  if (w.lambda <= 0.0 || w.mu_h <= 0.0) return telemetry.masters;
+  if (const auto plan = model::optimize_ms(w)) return plan->m;
+  // Static share of total offered load, as a node count (the same sizing
+  // experiment.cpp falls back to when Theorem 1 has no stable answer).
+  const double share = 1.0 / (1.0 + w.a / w.r);
+  const int m = static_cast<int>(std::lround(share * w.p));
+  return std::clamp(m, 1, w.p - 1);
+}
+
+Actions ControlLoop::plan(const Telemetry& telemetry,
+                          ParamEstimator& estimator) {
+  estimator.tick(config_.interval_s);
+
+  Actions actions;
+  actions.masters_target = telemetry.masters;
+  if (config_.tune_reservation) {
+    actions.retune = true;
+    actions.a = telemetry.a_hat;
+    actions.r = estimator.r_hat();
+    actions.slew = config_.theta_slew;
+  }
+  if (!config_.autoscale) return actions;
+
+  double busy = 0.0;
+  for (double b : telemetry.busy) busy += b;
+  if (!telemetry.busy.empty())
+    busy /= static_cast<double>(telemetry.busy.size());
+  actions.scale =
+      scaler_.on_signal(busy, telemetry.powered, total_, telemetry.now);
+
+  if (config_.retarget_masters) {
+    // Master retargeting shares the power dwell so membership never moves
+    // faster than the autoscaler's own pace.
+    const bool dwelling =
+        retargeted_once_ &&
+        telemetry.now - last_retarget_ < from_seconds(config_.dwell_s);
+    // After a power action the prefix length changes; retarget against the
+    // post-action powered count so the plan is internally consistent.
+    int powered_after = telemetry.powered;
+    if (actions.scale == ScaleAction::kUp) ++powered_after;
+    if (actions.scale == ScaleAction::kDown) --powered_after;
+    if (!dwelling) {
+      Telemetry t = telemetry;
+      t.powered = powered_after;
+      const int desired = masters_for(t, estimator);
+      int next = telemetry.masters;
+      if (desired > next) ++next;
+      if (desired < next) --next;
+      next = std::clamp(next, 1, std::max(1, powered_after - 1));
+      if (next != telemetry.masters) {
+        actions.masters_target = next;
+        last_retarget_ = telemetry.now;
+        retargeted_once_ = true;
+      }
+    }
+  }
+  return actions;
+}
+
+}  // namespace wsched::ctrl

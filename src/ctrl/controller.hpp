@@ -1,0 +1,102 @@
+// The control plane's tick driver: every control interval it turns the
+// telemetry the cluster hands it into a plan — retune theta'_2 toward the
+// Theorem 1 target computed from the *estimated* (a, r), possibly power a
+// node up or down, possibly step the master count toward the analytic
+// optimum for the estimated workload.
+//
+// The loop itself is a pure decision sequencer: it never touches nodes or
+// the reservation controller directly. The cluster builds the Telemetry
+// (from the stale probe feed when the net model is on — the controller
+// must degrade honestly under partitions, never read oracle state) and
+// executes the returned Actions, so every side effect lives in one place
+// and the loop is trivially unit-testable.
+#pragma once
+
+#include <vector>
+
+#include "ctrl/autoscaler.hpp"
+#include "ctrl/estimator.hpp"
+#include "util/time.hpp"
+
+namespace wsched::ctrl {
+
+/// Master switch plus knobs for all four components. Every default keeps
+/// the subsystem inert: with enabled == false the cluster constructs
+/// nothing and the run stays byte-identical to a build without src/ctrl/.
+struct CtrlConfig {
+  bool enabled = false;
+  /// Control interval (seconds simulated time).
+  double interval_s = 0.5;
+  /// EWMA weight for the completed-job estimators.
+  double estimate_alpha = 0.05;
+  /// Prior w until the first dynamic completion.
+  double initial_w = 0.5;
+  /// Feed the estimated w to RSRC (replacing the per-request oracle w).
+  bool use_estimated_w = true;
+  /// Continuously re-solve theta'_2 from the estimated (a, r).
+  bool tune_reservation = true;
+  /// Max theta'_2 movement per control tick (slew-rate limit).
+  double theta_slew = 0.05;
+  /// Power slaves on/off with hysteretic thresholds.
+  bool autoscale = false;
+  double scale_up_util = 0.75;
+  double scale_down_util = 0.30;
+  double dwell_s = 2.0;
+  int min_powered = 2;
+  /// Step the master count toward the Theorem 1 optimum for the estimated
+  /// workload (only meaningful with autoscale; needs the fault layer off).
+  bool retarget_masters = false;
+  /// EWMA weight for the autoscaler's busy signal.
+  double signal_alpha = 0.3;
+
+  bool any() const { return enabled; }
+};
+
+/// What the cluster observed this control interval. Built from the stale
+/// per-node report feed when the net model is on, from the load monitor
+/// otherwise — never from ground-truth node internals.
+struct Telemetry {
+  /// Busy fraction per *powered* node: max(1 - cpu_idle, 1 - disk_avail).
+  std::vector<double> busy;
+  /// The reservation controller's own arrival-mix estimate.
+  double a_hat = 0.0;
+  int powered = 0;
+  int masters = 0;
+  Time now = 0;
+};
+
+/// What the cluster should do before the next interval.
+struct Actions {
+  bool retune = false;
+  double a = 0.0;     ///< a_hat fed to the reservation retune
+  double r = 0.0;     ///< r_hat fed to the reservation retune
+  double slew = 0.0;  ///< max theta movement this tick
+  ScaleAction scale = ScaleAction::kNone;
+  /// Desired master count after this tick (== telemetry.masters when
+  /// unchanged; moves by at most one per tick).
+  int masters_target = 0;
+};
+
+class ControlLoop {
+ public:
+  ControlLoop(const CtrlConfig& config, int total_nodes);
+
+  /// One control tick. Also advances the estimator's rate bookkeeping.
+  Actions plan(const Telemetry& telemetry, ParamEstimator& estimator);
+
+  const Autoscaler& autoscaler() const { return scaler_; }
+
+ private:
+  /// Theorem 1 master count for the estimated workload on the currently
+  /// powered nodes; load-proportional fallback when no stable plan exists.
+  int masters_for(const Telemetry& telemetry,
+                  const ParamEstimator& estimator) const;
+
+  CtrlConfig config_;
+  int total_;
+  Autoscaler scaler_;
+  Time last_retarget_ = 0;
+  bool retargeted_once_ = false;
+};
+
+}  // namespace wsched::ctrl

@@ -71,6 +71,25 @@ BenchCli::BenchCli(int argc, const char* const* argv)
             args.has("net-partition") || args.has("load-report-interval") ||
             args.has("stale-fallback") || args.has("net-quorum");
   net.enabled = net_set;
+  ctrl.interval_s = args.get_double("ctrl-interval", ctrl.interval_s);
+  ctrl.estimate_alpha = args.get_double("ctrl-alpha", ctrl.estimate_alpha);
+  ctrl.theta_slew = args.get_double("ctrl-slew", ctrl.theta_slew);
+  ctrl.autoscale = args.get_bool("ctrl-autoscale", false);
+  ctrl.scale_up_util = args.get_double("ctrl-up", ctrl.scale_up_util);
+  ctrl.scale_down_util = args.get_double("ctrl-down", ctrl.scale_down_util);
+  ctrl.dwell_s = args.get_double("ctrl-dwell", ctrl.dwell_s);
+  ctrl.min_powered =
+      static_cast<int>(args.get_int("ctrl-min-nodes", ctrl.min_powered));
+  ctrl.retarget_masters = args.get_bool("ctrl-masters", false);
+  // Any tuning flag implies the control plane; a bare `--ctrl false` (or
+  // no ctrl flags at all) keeps the subsystem out of the run entirely.
+  ctrl.enabled =
+      args.get_bool("ctrl", false) || args.has("ctrl-interval") ||
+      args.has("ctrl-alpha") || args.has("ctrl-slew") ||
+      args.has("ctrl-autoscale") || args.has("ctrl-up") ||
+      args.has("ctrl-down") || args.has("ctrl-dwell") ||
+      args.has("ctrl-min-nodes") || args.has("ctrl-masters");
+  ctrl_set = ctrl.enabled;
 }
 
 namespace {
@@ -125,7 +144,7 @@ std::optional<SweepRun> run_bench(const SweepSpec& spec, const BenchCli& cli,
   // With several points, file paths are suffixed by grid index so parallel
   // evaluation never interleaves writers.
   EvalFn wrapped = eval;
-  if (cli.obs.any() || cli.overload_set || cli.net_set) {
+  if (cli.obs.any() || cli.overload_set || cli.net_set || cli.ctrl_set) {
     std::size_t filtered = 0;
     for (const GridPoint& point : expand(spec))
       if (matches_filters(point.id, cli.options.filters)) ++filtered;
@@ -136,6 +155,7 @@ std::optional<SweepRun> run_bench(const SweepSpec& spec, const BenchCli& cli,
         traced.spec.obs = obs_for_point(cli.obs, point.index, multi);
       if (cli.overload_set) traced.spec.overload = cli.overload;
       if (cli.net_set) traced.spec.net = cli.net;
+      if (cli.ctrl_set) traced.spec.ctrl = cli.ctrl;
       return eval(traced);
     };
   }

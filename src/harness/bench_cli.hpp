@@ -51,6 +51,24 @@
 //   --net-quorum B            quorum-gated promotion / step-down (default
 //                             true; false exhibits split-brain)
 //
+// Control-plane knobs (any one present injects a ctrl::CtrlConfig into
+// every evaluated point; all absent leaves the subsystem off and prior
+// artifacts byte-identical):
+//
+//   --ctrl               enable the self-tuning control plane (online w/r
+//                        estimation feeding RSRC + theta'_2 retuning)
+//   --ctrl-interval S    control-loop tick period in seconds
+//   --ctrl-alpha A       estimator EWMA weight
+//   --ctrl-slew X        max theta'_2 step per tick
+//   --ctrl-autoscale     hysteretic node power management (drains and
+//                        powers slaves down/up; excludes --fault knobs)
+//   --ctrl-up U          scale-up mean-busy threshold
+//   --ctrl-down D        scale-down mean-busy threshold
+//   --ctrl-dwell S       minimum seconds between scaling actions
+//   --ctrl-min-nodes N   floor on powered nodes
+//   --ctrl-masters       continuous master-count retargeting (Theorem 1 on
+//                        the estimated workload)
+//
 // Bench-specific flags stay available through `args`.
 #pragma once
 
@@ -58,6 +76,7 @@
 #include <optional>
 #include <string>
 
+#include "ctrl/controller.hpp"
 #include "harness/sweep.hpp"
 #include "net/network.hpp"
 #include "obs/observer.hpp"
@@ -87,6 +106,10 @@ struct BenchCli {
   /// `net_set` (any of those flags present).
   net::NetworkParams net;
   bool net_set = false;
+  /// Control-plane request from the --ctrl-* flags; applied to every
+  /// evaluated point when `ctrl_set` (any of those flags present).
+  ctrl::CtrlConfig ctrl;
+  bool ctrl_set = false;
 };
 
 /// Artifact path stem for one sweep under --out (empty when --out unset).

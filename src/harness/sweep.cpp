@@ -231,4 +231,24 @@ void append_net_metrics(ResultRow& row, const core::ExperimentResult& result) {
            static_cast<unsigned long long>(r.net_split_brain_rounds));
 }
 
+void append_ctrl_metrics(ResultRow& row,
+                         const core::ExperimentResult& result) {
+  const core::RunResult& r = result.run;
+  row.set("submitted", static_cast<unsigned long long>(r.submitted))
+      .set("completed_total", static_cast<unsigned long long>(r.completed))
+      .set("ctrl_retunes", static_cast<unsigned long long>(r.ctrl_retunes))
+      .set("ctrl_scale_ups",
+           static_cast<unsigned long long>(r.ctrl_scale_ups))
+      .set("ctrl_scale_downs",
+           static_cast<unsigned long long>(r.ctrl_scale_downs))
+      .set("ctrl_migrations",
+           static_cast<unsigned long long>(r.ctrl_migrations))
+      .set("ctrl_retargets",
+           static_cast<unsigned long long>(r.ctrl_retargets))
+      .set("ctrl_w_hat", r.ctrl_w_hat)
+      .set("ctrl_r_hat", r.ctrl_r_hat)
+      .set("energy_node_s", r.energy_node_s)
+      .set("powered_min", r.powered_min);
+}
+
 }  // namespace wsched::harness

@@ -152,4 +152,12 @@ void append_metrics(ResultRow& row, const core::ExperimentResult& result);
 /// byte-identity contract) never changes; net-aware benches call both.
 void append_net_metrics(ResultRow& row, const core::ExperimentResult& result);
 
+/// Appends the control-plane statistics (retunes, scale-ups/-downs,
+/// migrations, retargets, final w/r estimates, powered-node-seconds energy
+/// and the powered floor). Same byte-identity rationale as
+/// append_net_metrics: ctrl-aware benches call both this and
+/// append_metrics, the established schema never changes.
+void append_ctrl_metrics(ResultRow& row,
+                         const core::ExperimentResult& result);
+
 }  // namespace wsched::harness

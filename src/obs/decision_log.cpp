@@ -21,6 +21,8 @@ void DecisionLog::write_csv(std::ostream& out) const {
         .set("w", record.w)
         .set("reason", record.reason)
         .set("stale_s", record.stale_s)
+        .set("w_hat", record.w_hat)
+        .set("theta_eff", record.theta_eff)
         .set("candidates", record.candidates);
     rows.push_back(std::move(row));
   }

@@ -33,6 +33,11 @@ struct DecisionRecord {
   /// negative when the run had fresh oracle information (net model off)
   /// or the decision was not RSRC-based.
   double stale_s = -1.0;
+  /// Control plane (src/ctrl/): the live estimated w at decision time and
+  /// the effective theta'_2 limit. Negative when the control plane is off
+  /// (the columns still serialize, so the schema is stable).
+  double w_hat = -1.0;
+  double theta_eff = -1.0;
   /// "node:score" per candidate considered, '|'-joined; empty when the
   /// decision had no scored candidate set.
   std::string candidates;
@@ -52,7 +57,7 @@ class DecisionLog {
 
   /// Canonical CSV (via the harness artifact writers): one row per record
   /// with columns seq, t_s, class, receiver, chosen, remote, w, reason,
-  /// stale_s, candidates.
+  /// stale_s, w_hat, theta_eff, candidates.
   void write_csv(std::ostream& out) const;
   void write_csv_file(const std::string& path) const;
 

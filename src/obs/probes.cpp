@@ -63,6 +63,14 @@ void ProbeRecorder::sample(Time now, const std::vector<NodeProbe>& nodes,
     samples_.push_back(
         {now, -1, "net_partition_active", cluster.net_partition_active});
   }
+  if (cluster.ctrl_active) {
+    samples_.push_back({now, -1, "ctrl_w_hat", cluster.ctrl_w_hat});
+    samples_.push_back({now, -1, "ctrl_r_hat", cluster.ctrl_r_hat});
+    samples_.push_back(
+        {now, -1, "ctrl_theta_target", cluster.ctrl_theta_target});
+    samples_.push_back({now, -1, "ctrl_powered", cluster.ctrl_powered});
+    samples_.push_back({now, -1, "ctrl_m", cluster.ctrl_m});
+  }
 
   last_at_ = now;
   ++rounds_;

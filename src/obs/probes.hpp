@@ -45,6 +45,14 @@ struct ClusterProbe {
   double net_stale_fallbacks = 0.0;
   double net_split_brain_rounds = 0.0;
   double net_partition_active = 0.0;
+  /// Control-plane series (emitted only when `ctrl_active`, same
+  /// byte-identity contract as the net block).
+  bool ctrl_active = false;
+  double ctrl_w_hat = 0.0;
+  double ctrl_r_hat = 0.0;
+  double ctrl_theta_target = 0.0;
+  double ctrl_powered = 0.0;
+  double ctrl_m = 0.0;
 };
 
 struct ProbeSample {

@@ -22,6 +22,7 @@ const char* to_string(Category category) {
     case Category::kProbe: return "probe";
     case Category::kLog: return "log";
     case Category::kNet: return "net";
+    case Category::kCtrl: return "ctrl";
   }
   return "?";
 }

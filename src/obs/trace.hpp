@@ -35,9 +35,10 @@ enum class Category : std::uint8_t {
   kProbe,        ///< periodic time-series samples
   kLog,          ///< structured diagnostics routed into the trace
   kNet,          ///< interconnect: drops, partitions, RPC retries, reports
+  kCtrl,         ///< control plane: retunes, scale-ups/downs, retargets
 };
 
-inline constexpr std::size_t kCategoryCount = 10;
+inline constexpr std::size_t kCategoryCount = 11;
 
 const char* to_string(Category category);
 
@@ -51,6 +52,7 @@ enum Lane : int {
   kLaneControl = 5,   ///< reservation / probe / log events
   kLaneOverload = 6,  ///< shedding / abandonment / breaker / degraded mode
   kLaneNet = 7,       ///< message drops, partitions, RPC retries, step-downs
+  kLaneCtrl = 8,      ///< control plane: retune / power / retarget events
 };
 
 /// One "key=value" argument attached to an event. Numeric when `text`

@@ -406,6 +406,17 @@ void Node::recover() {
   // cold. A still-pending priority tick self-cancels on an empty node.
 }
 
+std::vector<Job> Node::power_down() {
+  powered_ = false;
+  if (!alive_) return {};
+  return crash();
+}
+
+void Node::power_up() {
+  powered_ = true;
+  if (!alive_) recover();
+}
+
 void Node::set_degradation(double cpu_factor, double disk_factor) {
   assert(cpu_factor > 0.0 && disk_factor > 0.0);
   cpu_degr_ = cpu_factor;

@@ -76,6 +76,20 @@ class Node {
   /// Brings a crashed node back with empty queues and cold memory.
   void recover();
 
+  // --- power state (driven by ctrl::Autoscaler) ---
+
+  bool powered() const { return powered_; }
+
+  /// Powers the node down for energy saving. Draining reuses the crash
+  /// path (partial slices charged pro rata, queues cleared, memory
+  /// reclaimed); the live jobs are returned so the cluster can migrate
+  /// them to powered nodes instead of losing them. Powering down an
+  /// already-dead node only flips the flag.
+  std::vector<Job> power_down();
+
+  /// Powers the node back up: cold queues and memory, like recover().
+  void power_up();
+
   /// Degraded-mode fault: scales effective CPU/disk speed by the given
   /// factors (1.0 = nominal, 0.25 = four times slower). Takes effect from
   /// the next scheduled slice; the in-flight slice completes as planned.
@@ -153,6 +167,7 @@ class Node {
   Time disk_slice_work_ = 0;
 
   bool alive_ = true;
+  bool powered_ = true;     ///< autoscaler power state (orthogonal to alive_)
   double cpu_degr_ = 1.0;   ///< degraded-mode CPU speed factor
   double disk_degr_ = 1.0;  ///< degraded-mode disk speed factor
 

@@ -74,6 +74,11 @@ Trace generate(const GeneratorConfig& config) {
     throw std::invalid_argument("duration must be > 0");
   if (config.r <= 0 || config.mu_h <= 0)
     throw std::invalid_argument("service rates must be > 0");
+  if (config.diurnal &&
+      (config.diurnal_amplitude < 0.0 || config.diurnal_amplitude > 1.0 ||
+       config.diurnal_period_s <= 0.0))
+    throw std::invalid_argument(
+        "diurnal amplitude must be in [0, 1] and period > 0");
 
   // Independent streams: arrivals, class choice, static sizing, dynamic
   // sizing, demands — so changing one aspect of the generator never
@@ -103,10 +108,16 @@ Trace generate(const GeneratorConfig& config) {
   // average equals lambda given the multiplier and flash time fraction.
   const double flash_mult = config.burst_rate_multiplier;
   const double flash_frac = config.burst_fraction;
+  // Diurnal thinning envelope: gaps are drawn at rate * (1 + A) and each
+  // arrival is kept with probability lambda(t) / envelope, which leaves
+  // the arrival stream untouched (no extra draws) when diurnal is off.
+  const double diurnal_env =
+      config.diurnal ? 1.0 + config.diurnal_amplitude : 1.0;
   const double calm_rate =
-      config.bursty
-          ? config.lambda / (1.0 - flash_frac + flash_frac * flash_mult)
-          : config.lambda;
+      (config.bursty
+           ? config.lambda / (1.0 - flash_frac + flash_frac * flash_mult)
+           : config.lambda) *
+      diurnal_env;
   const double flash_rate = calm_rate * flash_mult;
   // Mean phase residence times (seconds); flash phases are short.
   const double flash_hold = 0.5;
@@ -140,6 +151,13 @@ Trace generate(const GeneratorConfig& config) {
     }
     now_s += gap;
     if (now_s >= config.duration_s) break;
+    if (config.diurnal) {
+      const double mod =
+          1.0 + config.diurnal_amplitude *
+                    std::sin(2.0 * 3.14159265358979323846 * now_s /
+                             config.diurnal_period_s);
+      if (!arrivals.bernoulli(mod / diurnal_env)) continue;
+    }
 
     TraceRecord rec;
     rec.arrival = from_seconds(now_s);

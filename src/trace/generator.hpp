@@ -43,6 +43,14 @@ struct GeneratorConfig {
   bool bursty = false;
   double burst_rate_multiplier = 3.0;  ///< flash-phase rate multiplier
   double burst_fraction = 0.2;         ///< long-run fraction of time in flash
+  /// Optional diurnal arrival-rate modulation (the autoscaling drill's
+  /// day/night cycle): lambda(t) = lambda * (1 + A sin(2 pi t / T)),
+  /// implemented by thinning against the lambda*(1+A) envelope so the
+  /// long-run rate stays below the envelope and draws are untouched when
+  /// off. Composes with `bursty` (the MMPP phase rate is modulated).
+  bool diurnal = false;
+  double diurnal_period_s = 20.0;   ///< cycle length T (seconds)
+  double diurnal_amplitude = 0.6;   ///< A in [0, 1]
 };
 
 /// Mean size in bytes of the SPECweb96 access mix; static demands are

@@ -482,7 +482,7 @@ TEST(ObsDecisions, CsvHasStableHeader) {
   decisions.write_csv(out);
   EXPECT_NE(
       out.str().find("seq,t_s,class,receiver,chosen,remote,w,reason,"
-                     "stale_s,candidates"),
+                     "stale_s,w_hat,theta_eff,candidates"),
       std::string::npos);
   EXPECT_NE(out.str().find("0:1.2|1:3.4"), std::string::npos);
 }

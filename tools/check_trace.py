@@ -29,7 +29,7 @@ import sys
 PHASES = {"X", "i", "C", "b", "e", "M"}
 CATEGORIES = {
     "request", "dispatch", "cpu", "disk", "memory",
-    "fault", "reservation", "probe", "log", "net",
+    "fault", "reservation", "probe", "log", "net", "ctrl",
 }
 PROBE_HEADER = ["t_s", "node", "metric", "value"]
 CLUSTER_METRICS = {"a_hat", "r_hat", "theta_limit", "master_fraction"}
@@ -38,6 +38,11 @@ NET_METRICS = {
     "net_sent", "net_lost", "net_rpc_retries", "net_stale_fallbacks",
     "net_split_brain_rounds", "net_partition_active",
 }
+# Present only in runs with the control plane enabled (--ctrl).
+CTRL_METRICS = {
+    "ctrl_w_hat", "ctrl_r_hat", "ctrl_theta_target",
+    "ctrl_powered", "ctrl_m",
+}
 
 
 def fail(message):
@@ -45,7 +50,7 @@ def fail(message):
     sys.exit(1)
 
 
-def check_trace(path, required_phases, require_net=False):
+def check_trace(path, required_phases, require_net=False, require_ctrl=False):
     try:
         with open(path, encoding="utf-8") as handle:
             doc = json.load(handle)
@@ -105,6 +110,8 @@ def check_trace(path, required_phases, require_net=False):
             fail(f"{path}: no {phase!r} events (required)")
     if require_net and category_counts["net"] == 0:
         fail(f"{path}: no net-lane events (required by --net)")
+    if require_ctrl and category_counts["ctrl"] == 0:
+        fail(f"{path}: no ctrl-lane events (required by --ctrl)")
     # Dropped requests legitimately leave unmatched begins; an excess of
     # ends can never be legitimate and is caught per-event above.
     open_spans = sum(1 for depth in async_depth.values() if depth > 0)
@@ -114,7 +121,7 @@ def check_trace(path, required_phases, require_net=False):
           f"{len(pids)} pids, {summary}, open_async={open_spans}")
 
 
-def check_probes(path, require_net=False):
+def check_probes(path, require_net=False, require_ctrl=False):
     try:
         with open(path, encoding="utf-8", newline="") as handle:
             reader = csv.reader(handle)
@@ -144,6 +151,10 @@ def check_probes(path, require_net=False):
         missing_net = NET_METRICS - metrics
         if missing_net:
             fail(f"{path}: missing net metrics {sorted(missing_net)}")
+    if require_ctrl:
+        missing_ctrl = CTRL_METRICS - metrics
+        if missing_ctrl:
+            fail(f"{path}: missing ctrl metrics {sorted(missing_ctrl)}")
     print(f"check_trace: OK: {path}: {rows} samples, "
           f"{len(metrics)} metric series")
 
@@ -159,10 +170,15 @@ def main():
         "--net", action="store_true",
         help="require net-lane trace events and (with --probes) the "
              "net_* probe metric series")
+    parser.add_argument(
+        "--ctrl", action="store_true",
+        help="require ctrl-lane trace events (retunes, scale-ups/downs) "
+             "and (with --probes) the ctrl_* probe metric series")
     options = parser.parse_args()
-    check_trace(options.trace, options.require_phase, options.net)
+    check_trace(options.trace, options.require_phase, options.net,
+                options.ctrl)
     if options.probes:
-        check_probes(options.probes, options.net)
+        check_probes(options.probes, options.net, options.ctrl)
 
 
 if __name__ == "__main__":
