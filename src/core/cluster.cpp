@@ -1,6 +1,7 @@
 #include "core/cluster.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -16,6 +17,18 @@
 #include "util/rng.hpp"
 
 namespace wsched::core {
+
+namespace {
+
+// schedule_call trampoline over a long-lived std::function (the periodic
+// tick closures and the arrival cursor below): re-scheduling through a
+// pointer costs nothing, where re-scheduling the std::function by value
+// used to copy (and usually heap-allocate) it once per firing.
+void invoke_closure(void* ctx) {
+  (*static_cast<std::function<void()>*>(ctx))();
+}
+
+}  // namespace
 
 ClusterSim::ClusterSim(ClusterConfig config,
                        std::unique_ptr<Dispatcher> dispatcher)
@@ -693,9 +706,11 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
           });
         }
       }
-      if (remaining > 0) engine.schedule_after(report_period, report_tick);
+      if (remaining > 0)
+        engine.schedule_call_after(report_period, &invoke_closure,
+                                   &report_tick);
     };
-    engine.schedule_after(report_period, report_tick);
+    engine.schedule_call_after(report_period, &invoke_closure, &report_tick);
   }
 
   // Periodic theta'_2 recomputation, running as long as work remains.
@@ -717,20 +732,22 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
                       cluster_pid, now, reservation.master_fraction());
     }
     if (remaining > 0)
-      engine.schedule_after(config_.reservation_update_period,
-                            reservation_tick);
+      engine.schedule_call_after(config_.reservation_update_period,
+                                 &invoke_closure, &reservation_tick);
   };
-  engine.schedule_after(config_.reservation_update_period, reservation_tick);
+  engine.schedule_call_after(config_.reservation_update_period,
+                             &invoke_closure, &reservation_tick);
 
   // Periodic time-series probe. The recorder is passive (no RNG, no state
   // the simulation reads back), so enabling it cannot perturb results.
   obs::ProbeRecorder* probes = config_.obs.probes;
   std::function<void()> probe_tick;
+  std::vector<obs::NodeProbe> node_probes;  ///< reused across probe ticks
   if (probes != nullptr) {
+    node_probes.reserve(nodes.size());
     probe_tick = [&] {
       const Time now = engine.now();
-      std::vector<obs::NodeProbe> node_probes;
-      node_probes.reserve(nodes.size());
+      node_probes.clear();
       for (const auto& node : nodes) {
         obs::NodeProbe probe;
         probe.cpu_busy = node->cpu_busy_until(now);
@@ -773,10 +790,32 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
         cluster_probe.ctrl_m = static_cast<double>(view.m);
       }
       probes->sample(now, node_probes, cluster_probe);
-      if (remaining > 0) engine.schedule_after(probes->interval(), probe_tick);
+      if (remaining > 0)
+        engine.schedule_call_after(probes->interval(), &invoke_closure,
+                                   &probe_tick);
     };
-    engine.schedule_after(probes->interval(), probe_tick);
+    engine.schedule_call_after(probes->interval(), &invoke_closure,
+                               &probe_tick);
   }
+
+  // Steady-state remote dispatch (no fault/overload/ctrl landing checks)
+  // rides a pooled context instead of a job-capturing closure: zero
+  // allocations per dispatched request once the pool is warm. The deque
+  // gives stable addresses; contexts recycle through the free list.
+  struct RemoteHop {
+    sim::Job job;
+    sim::Node* target = nullptr;
+    std::vector<RemoteHop*>* free_list = nullptr;
+    static void fire(void* ctx) {
+      auto* hop = static_cast<RemoteHop*>(ctx);
+      sim::Node* target = hop->target;
+      sim::Job job = std::move(hop->job);
+      hop->free_list->push_back(hop);
+      target->submit(std::move(job));
+    }
+  };
+  std::deque<RemoteHop> hop_pool;
+  std::vector<RemoteHop*> hop_free;
 
   // Routes one admitted job and hands it to the chosen node (charging the
   // remote hop when needed). Shared by first dispatch and by client
@@ -870,8 +909,19 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
                                 route_and_submit(job);
                               });
       } else {
-        engine.schedule_after(config_.os.remote_cgi_latency,
-                              [target, job] { target->submit(job); });
+        RemoteHop* hop;
+        if (!hop_free.empty()) {
+          hop = hop_free.back();
+          hop_free.pop_back();
+        } else {
+          hop_pool.emplace_back();
+          hop = &hop_pool.back();
+          hop->free_list = &hop_free;
+        }
+        hop->job = std::move(job);
+        hop->target = target;
+        engine.schedule_call_after(config_.os.remote_cgi_latency,
+                                   &RemoteHop::fire, hop);
       }
     } else if (faults_on && !target->alive()) {
       if (overload_on) overload->note_dispatch_failure(target_idx);
@@ -901,11 +951,11 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
       telemetry.powered = powered_count;
       telemetry.masters = view.m;
       telemetry.a_hat = reservation.a_hat_live();
-      const std::vector<LoadInfo>& seen =
+      const LoadVec& seen =
           net_on ? stale_view->seen_by(0) : monitor.all();
       telemetry.busy.reserve(static_cast<std::size_t>(powered_count));
       for (int n = 0; n < powered_count; ++n) {
-        const LoadInfo& info = seen[static_cast<std::size_t>(n)];
+        const LoadInfo info = seen[static_cast<std::size_t>(n)];
         telemetry.busy.push_back(std::max(1.0 - info.cpu_idle_ratio,
                                           1.0 - info.disk_avail_ratio));
       }
@@ -1004,10 +1054,11 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
         reservation.set_membership(powered_count, view.m);
 
       if (remaining > 0)
-        engine.schedule_after(from_seconds(config_.ctrl.interval_s),
-                              ctrl_tick);
+        engine.schedule_call_after(from_seconds(config_.ctrl.interval_s),
+                                   &invoke_closure, &ctrl_tick);
     };
-    engine.schedule_after(from_seconds(config_.ctrl.interval_s), ctrl_tick);
+    engine.schedule_call_after(from_seconds(config_.ctrl.interval_s),
+                               &invoke_closure, &ctrl_tick);
   }
 
   // Load shedding: a shed request is retried by the client with the shared
@@ -1069,7 +1120,8 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     const auto schedule_next = [&] {
       ++cursor;
       if (cursor < trace.records.size())
-        engine.schedule_at(trace.records[cursor].arrival, deliver);
+        engine.schedule_call(trace.records[cursor].arrival, &invoke_closure,
+                             &deliver);
     };
     sim::Job job;
     job.id = next_id++;
@@ -1097,7 +1149,8 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     schedule_next();
   };
   if (!trace.records.empty())
-    engine.schedule_at(trace.records.front().arrival, deliver);
+    engine.schedule_call(trace.records.front().arrival, &invoke_closure,
+                         &deliver);
 
   engine.run();
 

@@ -15,14 +15,14 @@ DispatchFeedback::DispatchFeedback(std::size_t nodes, Time sample_window,
   if (window_ <= 0) throw std::invalid_argument("feedback window must be > 0");
 }
 
-void DispatchFeedback::on_sample(const std::vector<LoadInfo>& fresh) {
+void DispatchFeedback::on_sample(const LoadVec& fresh) {
   base_ = fresh;
   effective_ = fresh;
 }
 
 void DispatchFeedback::on_node_report(std::size_t node, const LoadInfo& fresh) {
-  base_.at(node) = fresh;
-  effective_.at(node) = fresh;
+  base_[node] = fresh;
+  effective_[node] = fresh;
 }
 
 void DispatchFeedback::on_dispatch(std::size_t node, double w) {
@@ -31,7 +31,7 @@ void DispatchFeedback::on_dispatch(std::size_t node, double w) {
   // direct debit against the measured idle ratios.
   const double frac =
       demand_s_ / to_seconds(window_);
-  LoadInfo& info = effective_.at(node);
+  LoadRef info = effective_[node];
   info.cpu_idle_ratio =
       std::max(floor_, info.cpu_idle_ratio - w * frac);
   info.disk_avail_ratio =
@@ -55,9 +55,13 @@ LoadMonitor::LoadMonitor(sim::Engine& engine, std::vector<sim::Node*> nodes,
   if (period_ <= 0) throw std::invalid_argument("sample period must be > 0");
 }
 
+void LoadMonitor::tick_trampoline(void* self) {
+  static_cast<LoadMonitor*>(self)->on_tick();
+}
+
 void LoadMonitor::start() {
   last_sample_ = engine_.now();
-  engine_.schedule_after(period_, [this] { on_tick(); });
+  engine_.schedule_call_after(period_, &LoadMonitor::tick_trampoline, this);
 }
 
 void LoadMonitor::sample_now() {
@@ -83,7 +87,7 @@ void LoadMonitor::sample_now() {
 void LoadMonitor::on_tick() {
   sample_now();
   if (on_sample_) on_sample_();
-  engine_.schedule_after(period_, [this] { on_tick(); });
+  engine_.schedule_call_after(period_, &LoadMonitor::tick_trampoline, this);
 }
 
 }  // namespace wsched::core

@@ -5,7 +5,9 @@
 // like the real system.
 #pragma once
 
+#include <cstddef>
 #include <functional>
+#include <initializer_list>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -18,6 +20,74 @@ namespace wsched::core {
 struct LoadInfo {
   double cpu_idle_ratio = 1.0;   ///< CPUIdleRatio in Equation 5
   double disk_avail_ratio = 1.0; ///< DiskAvailRatio in Equation 5
+};
+
+/// Mutable proxy into one LoadVec slot: keeps the `info.cpu_idle_ratio`
+/// field idiom working over the split arrays.
+struct LoadRef {
+  double& cpu_idle_ratio;
+  double& disk_avail_ratio;
+  LoadRef& operator=(const LoadInfo& info) {
+    cpu_idle_ratio = info.cpu_idle_ratio;
+    disk_avail_ratio = info.disk_avail_ratio;
+    return *this;
+  }
+  operator LoadInfo() const { return {cpu_idle_ratio, disk_avail_ratio}; }
+};
+
+/// Structure-of-arrays vector of per-node load snapshots. The RSRC scan —
+/// the hottest read in dispatch — walks the two ratio arrays with raw
+/// pointer indexing (cpu_idle_data/disk_avail_data) instead of striding
+/// over structs; everything else reads/writes whole LoadInfo values
+/// through operator[].
+class LoadVec {
+ public:
+  LoadVec() = default;
+  explicit LoadVec(std::size_t n) : cpu_idle_(n, 1.0), disk_avail_(n, 1.0) {}
+  LoadVec(std::size_t n, const LoadInfo& fill)
+      : cpu_idle_(n, fill.cpu_idle_ratio),
+        disk_avail_(n, fill.disk_avail_ratio) {}
+  LoadVec(std::initializer_list<LoadInfo> init) {
+    for (const LoadInfo& info : init) push_back(info);
+  }
+  /// Implicit on purpose: AoS call sites (tests, ad-hoc tooling) keep
+  /// passing std::vector<LoadInfo> literals.
+  LoadVec(const std::vector<LoadInfo>& infos) {  // NOLINT
+    reserve(infos.size());
+    for (const LoadInfo& info : infos) push_back(info);
+  }
+
+  std::size_t size() const { return cpu_idle_.size(); }
+  bool empty() const { return cpu_idle_.empty(); }
+  void reserve(std::size_t n) {
+    cpu_idle_.reserve(n);
+    disk_avail_.reserve(n);
+  }
+  void assign(std::size_t n, const LoadInfo& fill) {
+    cpu_idle_.assign(n, fill.cpu_idle_ratio);
+    disk_avail_.assign(n, fill.disk_avail_ratio);
+  }
+  void push_back(const LoadInfo& info) {
+    cpu_idle_.push_back(info.cpu_idle_ratio);
+    disk_avail_.push_back(info.disk_avail_ratio);
+  }
+
+  LoadInfo operator[](std::size_t i) const {
+    return {cpu_idle_[i], disk_avail_[i]};
+  }
+  LoadRef operator[](std::size_t i) {
+    return {cpu_idle_[i], disk_avail_[i]};
+  }
+  LoadInfo at(std::size_t i) const {
+    return {cpu_idle_.at(i), disk_avail_.at(i)};
+  }
+
+  const double* cpu_idle_data() const { return cpu_idle_.data(); }
+  const double* disk_avail_data() const { return disk_avail_.data(); }
+
+ private:
+  std::vector<double> cpu_idle_;
+  std::vector<double> disk_avail_;
 };
 
 /// Dispatcher-side feedback on top of periodically sampled load.
@@ -36,7 +106,7 @@ class DispatchFeedback {
                    double initial_demand_s, double floor = 0.01);
 
   /// Refreshes the base snapshot (call whenever the monitor samples).
-  void on_sample(const std::vector<LoadInfo>& fresh);
+  void on_sample(const LoadVec& fresh);
 
   /// Refreshes one node's snapshot from a delivered load report (the
   /// net-model path, where nodes report individually over the control
@@ -50,15 +120,15 @@ class DispatchFeedback {
   /// demand estimate (the paper's off-line sampling analogue).
   void note_dynamic_demand(Time demand);
 
-  const std::vector<LoadInfo>& effective() const { return effective_; }
+  const LoadVec& effective() const { return effective_; }
   double demand_estimate_s() const { return demand_s_; }
 
  private:
   Time window_;
   double floor_;
   double demand_s_;  ///< EWMA of dynamic service demand, seconds
-  std::vector<LoadInfo> base_;
-  std::vector<LoadInfo> effective_;
+  LoadVec base_;
+  LoadVec effective_;
 };
 
 class LoadMonitor {
@@ -71,8 +141,8 @@ class LoadMonitor {
   /// Schedules the periodic sampling; call once before the run.
   void start();
 
-  const LoadInfo& info(std::size_t node) const { return info_.at(node); }
-  const std::vector<LoadInfo>& all() const { return info_; }
+  LoadInfo info(std::size_t node) const { return info_.at(node); }
+  const LoadVec& all() const { return info_; }
   Time period() const { return period_; }
   /// Simulated time of the most recent sample (load-report origin stamp).
   Time last_sample_time() const { return last_sample_; }
@@ -86,12 +156,14 @@ class LoadMonitor {
 
  private:
   void on_tick();
+  /// Engine trampoline: self-reschedules without allocating a closure.
+  static void tick_trampoline(void* self);
 
   sim::Engine& engine_;
   std::vector<sim::Node*> nodes_;
   Time period_;
   double floor_;
-  std::vector<LoadInfo> info_;
+  LoadVec info_;
   std::vector<Time> last_cpu_busy_;
   std::vector<Time> last_disk_busy_;
   Time last_sample_ = 0;

@@ -14,15 +14,16 @@ int random_in(Rng& rng, int count) {
   return static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(count)));
 }
 
-/// "node:score" per candidate, '|'-joined, for the decision log. Scores use
-/// the same cost function the pick used, so the log explains the choice.
-std::string score_candidates(double w, const std::vector<int>& candidates,
-                             const std::vector<LoadInfo>& load,
-                             const std::vector<sim::NodeParams>* speeds) {
-  std::string joined;
-  char buf[48];
+/// Scores each candidate with the same cost function the pick used, so the
+/// decision log explains the choice. Fills a reusable (node, cost) buffer;
+/// the "node:score|..." string is only formatted at CSV-write time.
+void score_candidates(double w, const std::vector<int>& candidates,
+                      const LoadVec& load,
+                      const std::vector<sim::NodeParams>* speeds,
+                      std::vector<obs::ScoredCandidate>& out) {
+  out.clear();
   for (const int node : candidates) {
-    const LoadInfo& info = load[static_cast<std::size_t>(node)];
+    const LoadInfo info = load[static_cast<std::size_t>(node)];
     const double cost =
         speeds == nullptr
             ? rsrc_cost(w, info)
@@ -30,20 +31,20 @@ std::string score_candidates(double w, const std::vector<int>& candidates,
                   w, info,
                   (*speeds)[static_cast<std::size_t>(node)].cpu_speed,
                   (*speeds)[static_cast<std::size_t>(node)].disk_speed);
-    std::snprintf(buf, sizeof buf, "%d:%.4f", node, cost);
-    if (!joined.empty()) joined += '|';
-    joined += buf;
+    out.push_back({node, cost});
   }
-  return joined;
 }
 
 /// Appends one record when the view carries a decision log; `candidates`
 /// (with `load`) adds the scored candidate set. `stale_s` is the age of
 /// the snapshot the decision scored against (negative = fresh oracle).
+/// The early-out keeps all scoring/copy cost off the path when no log is
+/// attached (the common case); with one attached, scores are stored as
+/// raw pairs in the log's flat pool — no per-dispatch string building.
 void log_decision(ClusterView& view, const Decision& decision, bool dynamic,
                   const char* reason,
                   const std::vector<int>* candidates = nullptr,
-                  const std::vector<LoadInfo>* load = nullptr,
+                  const LoadVec* load = nullptr,
                   const std::vector<sim::NodeParams>* speeds = nullptr,
                   double stale_s = -1.0) {
   if (view.decisions == nullptr) return;
@@ -62,10 +63,13 @@ void log_decision(ClusterView& view, const Decision& decision, bool dynamic,
                            ? view.reservation->theta_limit()
                            : -1.0;
   }
-  if (candidates != nullptr && load != nullptr)
-    record.candidates =
-        score_candidates(decision.rsrc_w, *candidates, *load, speeds);
-  view.decisions->record(std::move(record));
+  if (candidates != nullptr && load != nullptr) {
+    static thread_local std::vector<obs::ScoredCandidate> scored;
+    score_candidates(decision.rsrc_w, *candidates, *load, speeds, scored);
+    view.decisions->record(record, scored.data(), scored.size());
+    return;
+  }
+  view.decisions->record(record);
 }
 
 /// Copies the declared-healthy subset of `from` into `out`, additionally
@@ -97,7 +101,7 @@ struct PickOutcome {
 /// information herding.
 PickOutcome pick_candidate(ClusterView& view, int receiver, double w,
                            const std::vector<int>& candidates,
-                           const std::vector<LoadInfo>& seen,
+                           const LoadVec& seen,
                            const std::vector<sim::NodeParams>* speeds,
                            double tolerance) {
   if (view.stale == nullptr)
@@ -111,12 +115,16 @@ PickOutcome pick_candidate(ClusterView& view, int receiver, double w,
     scale.push_back(1.0 + view.stale_penalty_per_s * age);
     if (age <= view.stale_max_age_s) all_over_age = false;
   }
+  const double* cpu = seen.cpu_idle_data();
+  const double* disk = seen.disk_avail_data();
   const auto scaled_cost = [&](std::size_t i) {
     const auto node = static_cast<std::size_t>(candidates[i]);
-    if (speeds == nullptr) return scale[i] * rsrc_cost(w, seen[node]);
-    return scale[i] * rsrc_cost_heterogeneous(w, seen[node],
-                                              (*speeds)[node].cpu_speed,
-                                              (*speeds)[node].disk_speed);
+    const double cost =
+        speeds == nullptr
+            ? w / cpu[node] + (1.0 - w) / disk[node]
+            : w / (cpu[node] * (*speeds)[node].cpu_speed) +
+                  (1.0 - w) / (disk[node] * (*speeds)[node].disk_speed);
+    return scale[i] * cost;
   };
   std::size_t pick;
   const char* reason = nullptr;
@@ -259,7 +267,7 @@ class MsDispatcher final : public Dispatcher {
                                        : 0.5));
     const std::vector<sim::NodeParams>* speeds =
         options_.speed_aware ? view.node_params : nullptr;
-    const std::vector<LoadInfo>& seen = view.load_seen_by(receiver);
+    const LoadVec& seen = view.load_seen_by(receiver);
     const PickOutcome picked = pick_candidate(view, receiver, w, candidates_,
                                               seen, speeds,
                                               options_.rsrc_tolerance);
@@ -347,7 +355,7 @@ class MsDispatcher final : public Dispatcher {
                                        : 0.5));
     const std::vector<sim::NodeParams>* speeds =
         options_.speed_aware ? view.node_params : nullptr;
-    const std::vector<LoadInfo>& seen = view.load_seen_by(receiver);
+    const LoadVec& seen = view.load_seen_by(receiver);
     const PickOutcome picked = pick_candidate(view, receiver, w, candidates_,
                                               seen, speeds,
                                               options_.rsrc_tolerance);
@@ -406,7 +414,7 @@ class MsPrimeDispatcher final : public Dispatcher {
       if (candidates_.empty()) candidates_ = healthy_;
       const double w = view.ctrl_w != nullptr ? *view.ctrl_w
                                               : request.cpu_fraction;
-      const std::vector<LoadInfo>& seen = view.load_seen_by(receiver);
+      const LoadVec& seen = view.load_seen_by(receiver);
       const PickOutcome picked = pick_candidate(view, receiver, w,
                                                 candidates_, seen, nullptr,
                                                 0.30);
@@ -442,7 +450,7 @@ class MsPrimeDispatcher final : public Dispatcher {
       for (int n = 0; n < k; ++n) candidates_.push_back(n);
     const double w = view.ctrl_w != nullptr ? *view.ctrl_w
                                             : request.cpu_fraction;
-    const std::vector<LoadInfo>& seen = view.load_seen_by(receiver);
+    const LoadVec& seen = view.load_seen_by(receiver);
     const PickOutcome picked = pick_candidate(view, receiver, w, candidates_,
                                               seen, nullptr, 0.30);
     const int target = candidates_[picked.index];

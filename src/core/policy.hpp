@@ -38,7 +38,7 @@ namespace wsched::core {
 
 /// Everything a policy may consult when routing one request.
 struct ClusterView {
-  const std::vector<LoadInfo>* load = nullptr;
+  const LoadVec* load = nullptr;
   /// Per-receiver dispatch knowledge: entry i is the load picture as seen
   /// by node i acting as the accepting front end — the shared periodic
   /// sample debited by node i's *own* recent dispatches only (masters do
@@ -110,7 +110,7 @@ struct ClusterView {
   /// with feedback on, the feedback state itself is refreshed from
   /// delivered reports rather than the monitor, so both paths route on
   /// information that actually crossed the wire.
-  const std::vector<LoadInfo>& load_seen_by(int node) const {
+  const LoadVec& load_seen_by(int node) const {
     if (feedbacks != nullptr)
       return (*feedbacks)[static_cast<std::size_t>(node)].effective();
     if (stale != nullptr) return stale->seen_by(node);

@@ -1,6 +1,7 @@
 #include "core/rsrc.hpp"
 
 #include <stdexcept>
+#include <vector>
 
 namespace wsched::core {
 
@@ -15,32 +16,48 @@ double rsrc_cost_heterogeneous(double w, const LoadInfo& load,
 }
 
 std::size_t pick_min_rsrc(double w, const std::vector<int>& candidates,
-                          const std::vector<LoadInfo>& load,
+                          const LoadVec& load,
                           const std::vector<sim::NodeParams>* speeds,
                           const std::vector<double>* cost_scale, Rng& rng,
                           double tolerance) {
   if (candidates.empty())
     throw std::invalid_argument("pick_min_rsrc: no candidates");
-  const auto cost_of = [&](std::size_t i) {
-    const auto node = static_cast<std::size_t>(candidates[i]);
-    const double scale = cost_scale == nullptr ? 1.0 : cost_scale->at(i);
-    if (speeds == nullptr) return scale * rsrc_cost(w, load.at(node));
-    const sim::NodeParams& params = speeds->at(node);
-    return scale * rsrc_cost_heterogeneous(w, load.at(node), params.cpu_speed,
-                                           params.disk_speed);
-  };
-  // Pass 1: the true minimum cost.
-  double best_cost = 0.0;
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    const double cost = cost_of(i);
-    if (i == 0 || cost < best_cost) best_cost = cost;
+  const std::size_t count = candidates.size();
+  const double* cpu = load.cpu_idle_data();
+  const double* disk = load.disk_avail_data();
+  const double* scale = cost_scale == nullptr ? nullptr : cost_scale->data();
+
+  // Evaluate every candidate's cost once into a scratch buffer; the
+  // expressions match rsrc_cost / rsrc_cost_heterogeneous term for term,
+  // so the near-tie comparisons (and thus the RNG draws) are unchanged.
+  static thread_local std::vector<double> costs;
+  costs.resize(count);
+  if (speeds == nullptr) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto node = static_cast<std::size_t>(candidates[i]);
+      const double cost = w / cpu[node] + (1.0 - w) / disk[node];
+      costs[i] = scale == nullptr ? cost : scale[i] * cost;
+    }
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto node = static_cast<std::size_t>(candidates[i]);
+      const sim::NodeParams& params = (*speeds)[node];
+      const double cost = w / (cpu[node] * params.cpu_speed) +
+                          (1.0 - w) / (disk[node] * params.disk_speed);
+      costs[i] = scale == nullptr ? cost : scale[i] * cost;
+    }
   }
+
+  // Pass 1: the true minimum cost.
+  double best_cost = costs[0];
+  for (std::size_t i = 1; i < count; ++i)
+    if (costs[i] < best_cost) best_cost = costs[i];
   // Pass 2: reservoir-sample uniformly among near-ties.
   const double cutoff = best_cost * (1.0 + tolerance);
   std::size_t chosen = 0;
   std::size_t near_ties = 0;
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    if (cost_of(i) <= cutoff) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (costs[i] <= cutoff) {
       ++near_ties;
       if (rng.uniform_int(near_ties) == 0) chosen = i;
     }
@@ -49,15 +66,14 @@ std::size_t pick_min_rsrc(double w, const std::vector<int>& candidates,
 }
 
 std::size_t pick_min_rsrc(double w, const std::vector<int>& candidates,
-                          const std::vector<LoadInfo>& load,
+                          const LoadVec& load,
                           const std::vector<sim::NodeParams>* speeds,
                           Rng& rng, double tolerance) {
   return pick_min_rsrc(w, candidates, load, speeds, nullptr, rng, tolerance);
 }
 
 std::size_t pick_min_rsrc(double w, const std::vector<int>& candidates,
-                          const std::vector<LoadInfo>& load, Rng& rng,
-                          double tolerance) {
+                          const LoadVec& load, Rng& rng, double tolerance) {
   return pick_min_rsrc(w, candidates, load, nullptr, nullptr, rng, tolerance);
 }
 

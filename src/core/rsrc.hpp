@@ -36,13 +36,13 @@ double rsrc_cost_heterogeneous(double w, const LoadInfo& load,
 /// Near-tie randomization is what lets a fleet of independent dispatchers
 /// spread load the way the paper's measured system evidently did.
 std::size_t pick_min_rsrc(double w, const std::vector<int>& candidates,
-                          const std::vector<LoadInfo>& load, Rng& rng,
+                          const LoadVec& load, Rng& rng,
                           double tolerance = 0.30);
 
 /// Speed-aware variant for heterogeneous clusters: costs divide by each
 /// node's CPU/disk speed factors (null `speeds` falls back to Equation 5).
 std::size_t pick_min_rsrc(double w, const std::vector<int>& candidates,
-                          const std::vector<LoadInfo>& load,
+                          const LoadVec& load,
                           const std::vector<sim::NodeParams>* speeds,
                           Rng& rng, double tolerance = 0.30);
 
@@ -51,7 +51,7 @@ std::size_t pick_min_rsrc(double w, const std::vector<int>& candidates,
 /// before the min / near-tie comparison, so nodes whose load information
 /// is old look less attractive. A null scale reduces to the plain pick.
 std::size_t pick_min_rsrc(double w, const std::vector<int>& candidates,
-                          const std::vector<LoadInfo>& load,
+                          const LoadVec& load,
                           const std::vector<sim::NodeParams>* speeds,
                           const std::vector<double>* cost_scale, Rng& rng,
                           double tolerance = 0.30);

@@ -21,7 +21,7 @@ class StaleClusterView {
   explicit StaleClusterView(int nodes)
       : nodes_(nodes),
         seen_(static_cast<std::size_t>(nodes),
-              std::vector<core::LoadInfo>(static_cast<std::size_t>(nodes))),
+              core::LoadVec(static_cast<std::size_t>(nodes))),
         reported_at_(static_cast<std::size_t>(nodes),
                      std::vector<Time>(static_cast<std::size_t>(nodes), 0)) {}
 
@@ -38,7 +38,7 @@ class StaleClusterView {
 
   /// The load picture as `receiver` knows it (default-idle until the
   /// first report lands — same cold start as the monitor's).
-  const std::vector<core::LoadInfo>& seen_by(int receiver) const {
+  const core::LoadVec& seen_by(int receiver) const {
     return seen_[static_cast<std::size_t>(receiver)];
   }
 
@@ -53,7 +53,7 @@ class StaleClusterView {
 
  private:
   int nodes_;
-  std::vector<std::vector<core::LoadInfo>> seen_;
+  std::vector<core::LoadVec> seen_;
   std::vector<std::vector<Time>> reported_at_;
   std::uint64_t reports_applied_ = 0;
 };

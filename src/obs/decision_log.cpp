@@ -1,11 +1,24 @@
 #include "obs/decision_log.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <stdexcept>
 
 #include "harness/artifacts.hpp"
 
 namespace wsched::obs {
+
+std::string DecisionLog::candidates_of(const DecisionRecord& rec) const {
+  std::string joined;
+  char buf[48];
+  const ScoredCandidate* cands = candidates_begin(rec);
+  for (std::uint32_t i = 0; i < rec.cand_count; ++i) {
+    std::snprintf(buf, sizeof buf, "%d:%.4f", cands[i].node, cands[i].cost);
+    if (!joined.empty()) joined += '|';
+    joined += buf;
+  }
+  return joined;
+}
 
 void DecisionLog::write_csv(std::ostream& out) const {
   std::vector<harness::ResultRow> rows;
@@ -23,7 +36,7 @@ void DecisionLog::write_csv(std::ostream& out) const {
         .set("stale_s", record.stale_s)
         .set("w_hat", record.w_hat)
         .set("theta_eff", record.theta_eff)
-        .set("candidates", record.candidates);
+        .set("candidates", candidates_of(record));
     rows.push_back(std::move(row));
   }
   harness::write_csv(out, rows);

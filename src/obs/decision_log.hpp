@@ -18,6 +18,12 @@
 
 namespace wsched::obs {
 
+/// One candidate considered by an RSRC pick, with the cost the pick used.
+struct ScoredCandidate {
+  int node = 0;
+  double cost = 0.0;
+};
+
 struct DecisionRecord {
   Time at = 0;
   std::uint64_t seq = 0;  ///< insertion order
@@ -38,22 +44,48 @@ struct DecisionRecord {
   /// (the columns still serialize, so the schema is stable).
   double w_hat = -1.0;
   double theta_eff = -1.0;
-  /// "node:score" per candidate considered, '|'-joined; empty when the
-  /// decision had no scored candidate set.
-  std::string candidates;
+  /// Span into the log's shared candidate pool (count == 0 when the
+  /// decision had no scored candidate set). Scores are kept as raw
+  /// (node, cost) pairs on the hot path; the "node:score|..." string is
+  /// only formatted at serialization time (DecisionLog::candidates_of).
+  std::uint32_t cand_begin = 0;
+  std::uint32_t cand_count = 0;
 };
 
 class DecisionLog {
  public:
-  /// Appends one record, stamping the sequence number.
+  /// Appends one record with no scored candidate set.
   void record(DecisionRecord record) {
     record.seq = records_.size();
-    records_.push_back(std::move(record));
+    record.cand_begin = static_cast<std::uint32_t>(pool_.size());
+    record.cand_count = 0;
+    records_.push_back(record);
+  }
+
+  /// Appends one record plus its scored candidates (copied into the flat
+  /// pool — no per-record allocation or formatting).
+  void record(DecisionRecord record, const ScoredCandidate* cands,
+              std::size_t count) {
+    record.seq = records_.size();
+    record.cand_begin = static_cast<std::uint32_t>(pool_.size());
+    record.cand_count = static_cast<std::uint32_t>(count);
+    pool_.insert(pool_.end(), cands, cands + count);
+    records_.push_back(record);
   }
 
   const std::vector<DecisionRecord>& records() const { return records_; }
+  /// The record's scored candidates, as a (begin, count) span in the pool.
+  const ScoredCandidate* candidates_begin(const DecisionRecord& rec) const {
+    return pool_.data() + rec.cand_begin;
+  }
+  /// Formats the record's candidate set as "node:score|node:score|..."
+  /// (the CSV serialization; empty when the set is empty).
+  std::string candidates_of(const DecisionRecord& rec) const;
   std::size_t size() const { return records_.size(); }
-  void clear() { records_.clear(); }
+  void clear() {
+    records_.clear();
+    pool_.clear();
+  }
 
   /// Canonical CSV (via the harness artifact writers): one row per record
   /// with columns seq, t_s, class, receiver, chosen, remote, w, reason,
@@ -63,6 +95,7 @@ class DecisionLog {
 
  private:
   std::vector<DecisionRecord> records_;
+  std::vector<ScoredCandidate> pool_;
 };
 
 }  // namespace wsched::obs

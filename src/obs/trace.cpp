@@ -27,56 +27,97 @@ const char* to_string(Category category) {
   return "?";
 }
 
-void ChromeTraceSink::push(Event event) {
-  ++per_category_[static_cast<std::size_t>(event.category)];
-  if (event.name != nullptr) {
-    recent_names_[recent_next_ % kRecent] = event.name;
+std::uint32_t ChromeTraceSink::intern(const char* data, std::size_t len) {
+  const auto off = static_cast<std::uint32_t>(chars_.size());
+  chars_.append(data, len);
+  return off;
+}
+
+ChromeTraceSink::Event& ChromeTraceSink::push(Category category, char phase,
+                                              const char* name, int pid,
+                                              int tid, Time ts,
+                                              const TraceArgs& args) {
+  ++per_category_[static_cast<std::size_t>(category)];
+  if (name != nullptr) {
+    recent_names_[recent_next_ % kRecent] = name;
     ++recent_next_;
   }
-  events_.push_back(std::move(event));
+  Event event;
+  event.category = category;
+  event.phase = phase;
+  event.name = name;
+  event.pid = pid;
+  event.tid = tid;
+  event.ts = ts;
+  event.arg_begin = static_cast<std::uint32_t>(args_.size());
+  event.arg_count = static_cast<std::uint32_t>(args.size());
+  for (const TraceArg& arg : args) {
+    Arg packed;
+    packed.key = arg.key;
+    if (arg.text.empty()) {
+      packed.num = arg.num;
+    } else {
+      packed.text_off = intern(arg.text.data(), arg.text.size());
+      packed.text_len = static_cast<std::uint32_t>(arg.text.size());
+    }
+    args_.push_back(packed);
+  }
+  events_.push_back(event);
+  return events_.back();
 }
 
 void ChromeTraceSink::span(Category category, const char* name, int pid,
                            int tid, Time start, Time dur, TraceArgs args) {
-  push(Event{category, 'X', name, {}, pid, tid, start, dur, 0,
-             std::move(args)});
+  push(category, 'X', name, pid, tid, start, args).dur = dur;
 }
 
 void ChromeTraceSink::instant(Category category, const char* name, int pid,
                               int tid, Time t, TraceArgs args) {
-  push(Event{category, 'i', name, {}, pid, tid, t, 0, 0, std::move(args)});
+  push(category, 'i', name, pid, tid, t, args);
 }
 
 void ChromeTraceSink::counter(Category category, const char* name, int pid,
                               Time t, double value) {
-  TraceArgs args;
-  args.emplace_back("value", value);
-  push(Event{category, 'C', name, {}, pid, 0, t, 0, 0, std::move(args)});
+  Event& event = push(category, 'C', name, pid, 0, t, {});
+  event.arg_begin = static_cast<std::uint32_t>(args_.size());
+  event.arg_count = 1;
+  Arg packed;
+  packed.key = "value";
+  packed.num = value;
+  args_.push_back(packed);
 }
 
 void ChromeTraceSink::async_begin(Category category, const char* name,
                                   int pid, std::uint64_t id, Time t,
                                   TraceArgs args) {
-  push(Event{category, 'b', name, {}, pid, 0, t, 0, id, std::move(args)});
+  push(category, 'b', name, pid, 0, t, args).id = id;
 }
 
 void ChromeTraceSink::async_end(Category category, const char* name, int pid,
                                 std::uint64_t id, Time t, TraceArgs args) {
-  push(Event{category, 'e', name, {}, pid, 0, t, 0, id, std::move(args)});
+  push(category, 'e', name, pid, 0, t, args).id = id;
 }
 
 void ChromeTraceSink::name_process(int pid, const std::string& name) {
-  TraceArgs args;
-  args.emplace_back("name", name);
-  push(Event{Category::kLog, 'M', "process_name", {}, pid, 0, 0, 0, 0,
-             std::move(args)});
+  Event& event = push(Category::kLog, 'M', "process_name", pid, 0, 0, {});
+  event.arg_begin = static_cast<std::uint32_t>(args_.size());
+  event.arg_count = 1;
+  Arg packed;
+  packed.key = "name";
+  packed.text_off = intern(name.data(), name.size());
+  packed.text_len = static_cast<std::uint32_t>(name.size());
+  args_.push_back(packed);
 }
 
 void ChromeTraceSink::name_thread(int pid, int tid, const std::string& name) {
-  TraceArgs args;
-  args.emplace_back("name", name);
-  push(Event{Category::kLog, 'M', "thread_name", {}, pid, tid, 0, 0, 0,
-             std::move(args)});
+  Event& event = push(Category::kLog, 'M', "thread_name", pid, tid, 0, {});
+  event.arg_begin = static_cast<std::uint32_t>(args_.size());
+  event.arg_count = 1;
+  Arg packed;
+  packed.key = "name";
+  packed.text_off = intern(name.data(), name.size());
+  packed.text_len = static_cast<std::uint32_t>(name.size());
+  args_.push_back(packed);
 }
 
 std::string ChromeTraceSink::recent_summary() const {
@@ -110,21 +151,6 @@ void write_us(std::ostream& out, Time t) {
       << static_cast<char>('0' + frac % 10);
 }
 
-void write_args(std::ostream& out, const TraceArgs& args) {
-  out << "\"args\":{";
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    if (i > 0) out << ',';
-    const TraceArg& arg = args[i];
-    out << '"' << harness::json_escape(arg.key) << "\":";
-    if (arg.text.empty()) {
-      out << harness::format_number(arg.num);
-    } else {
-      out << '"' << harness::json_escape(arg.text) << '"';
-    }
-  }
-  out << '}';
-}
-
 }  // namespace
 
 void ChromeTraceSink::write(std::ostream& out) const {
@@ -133,12 +159,10 @@ void ChromeTraceSink::write(std::ostream& out) const {
   for (const Event& event : events_) {
     if (!first) out << ",\n";
     first = false;
-    const char* name =
-        event.name != nullptr ? event.name : event.owned_name.c_str();
-    out << "{\"name\":\"" << harness::json_escape(name) << "\",\"cat\":\""
-        << to_string(event.category) << "\",\"ph\":\"" << event.phase
-        << "\",\"pid\":" << event.pid << ",\"tid\":" << event.tid
-        << ",\"ts\":";
+    out << "{\"name\":\"" << harness::json_escape(event.name)
+        << "\",\"cat\":\"" << to_string(event.category) << "\",\"ph\":\""
+        << event.phase << "\",\"pid\":" << event.pid
+        << ",\"tid\":" << event.tid << ",\"ts\":";
     write_us(out, event.ts);
     if (event.phase == 'X') {
       out << ",\"dur\":";
@@ -147,9 +171,22 @@ void ChromeTraceSink::write(std::ostream& out) const {
     if (event.phase == 'b' || event.phase == 'e')
       out << ",\"id\":\"0x" << std::hex << event.id << std::dec << '"';
     if (event.phase == 'i') out << ",\"s\":\"t\"";
-    if (!event.args.empty()) {
-      out << ',';
-      write_args(out, event.args);
+    if (event.arg_count > 0) {
+      out << ",\"args\":{";
+      for (std::uint32_t i = 0; i < event.arg_count; ++i) {
+        if (i > 0) out << ',';
+        const Arg& arg = args_[event.arg_begin + i];
+        out << '"' << harness::json_escape(arg.key) << "\":";
+        if (arg.text_len == 0) {
+          out << harness::format_number(arg.num);
+        } else {
+          out << '"'
+              << harness::json_escape(
+                     chars_.substr(arg.text_off, arg.text_len))
+              << '"';
+        }
+      }
+      out << '}';
     }
     out << '}';
   }

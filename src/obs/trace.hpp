@@ -139,22 +139,38 @@ class ChromeTraceSink final : public TraceSink {
   void write_file(const std::string& path) const;
 
  private:
+  // Flat append-buffer storage: one POD record per event, its arguments
+  // packed into a shared pool and all dynamic characters (string-valued
+  // args, metadata names) into one byte buffer. Buffering a trace costs
+  // amortized-zero allocations per event instead of retaining a vector
+  // (and possibly strings) for each; serialization walks the pools
+  // sequentially. The JSON formatting in write() is unchanged.
   struct Event {
     Category category;
     char phase;  ///< 'X', 'i', 'C', 'b', 'e', 'M'
-    const char* name = nullptr;
-    std::string owned_name;  ///< metadata events carry dynamic names
+    const char* name = nullptr;  ///< static literal at every call site
     int pid = 0;
     int tid = 0;
     Time ts = 0;
     Time dur = 0;
     std::uint64_t id = 0;
-    TraceArgs args;
+    std::uint32_t arg_begin = 0;
+    std::uint32_t arg_count = 0;
+  };
+  struct Arg {
+    const char* key = nullptr;
+    double num = 0.0;
+    std::uint32_t text_off = 0;  ///< into chars_; text_len == 0 → numeric
+    std::uint32_t text_len = 0;
   };
 
-  void push(Event event);
+  Event& push(Category category, char phase, const char* name, int pid,
+              int tid, Time ts, const TraceArgs& args);
+  std::uint32_t intern(const char* data, std::size_t len);
 
   std::vector<Event> events_;
+  std::vector<Arg> args_;
+  std::string chars_;
   std::uint64_t per_category_[kCategoryCount] = {};
   // Ring of the most recent event names for recent_summary().
   static constexpr std::size_t kRecent = 8;

@@ -26,15 +26,31 @@ Time Node::disk_wall(Time work) const {
       static_cast<double>(work) / (params_.disk_speed * disk_degr_) + 0.5);
 }
 
+Process* Node::acquire_process() {
+  Process* proc;
+  if (!free_procs_.empty()) {
+    proc = free_procs_.back();
+    free_procs_.pop_back();
+  } else {
+    proc = &arena_.emplace_back();
+  }
+  proc->cycle = 0;
+  proc->cpu_left = 0;
+  proc->io_left = 0;
+  proc->state = ProcState::kReady;
+  proc->p_cpu = 0;
+  proc->granted_pages = 0;
+  return proc;
+}
+
 void Node::submit(Job job) {
   assert(alive_);
-  auto owned = std::make_unique<Process>();
-  Process* proc = owned.get();
+  Process* proc = acquire_process();
   proc->job = std::move(job);
   proc->node_arrival = engine_.now();
 
   const trace::TraceRecord& req = proc->job.request;
-  proc->cycles = plan_bursts(req.service_demand, req.cpu_fraction, os_);
+  plan_bursts_into(req.service_demand, req.cpu_fraction, os_, proc->cycles);
 
   // "every CGI request requires the creation of a new process" — fork cost
   // is CPU work at the front of the first burst.
@@ -65,7 +81,7 @@ void Node::submit(Job job) {
   }
 
   proc->live_index = live_.size();
-  live_.push_back(std::move(owned));
+  live_.push_back(proc);
   ensure_tick();
 
   proc->load_cycle();
@@ -137,8 +153,8 @@ void Node::try_dispatch() {
   slice_start_ = engine_.now() + cs;
   slice_work_ = std::min(os_.cpu_quantum, proc->cpu_left);
   const std::uint64_t token = ++cpu_epoch_;
-  engine_.schedule_at(slice_start_ + cpu_wall(slice_work_),
-                      [this, token] { on_cpu_slice_end(token); });
+  engine_.schedule_cpu_slice_end(slice_start_ + cpu_wall(slice_work_), this,
+                                 token);
 }
 
 void Node::on_cpu_slice_end(std::uint64_t token) {
@@ -181,8 +197,8 @@ void Node::try_disk() {
   disk_slice_start_ = engine_.now();
   disk_slice_work_ = disk_sched_.slice_for(*proc);
   const std::uint64_t token = disk_epoch_;
-  engine_.schedule_at(disk_slice_start_ + disk_wall(disk_slice_work_),
-                      [this, token] { on_disk_slice_end(token); });
+  engine_.schedule_disk_slice_end(
+      disk_slice_start_ + disk_wall(disk_slice_work_), this, token);
 }
 
 void Node::on_disk_slice_end(std::uint64_t token) {
@@ -223,13 +239,14 @@ void Node::complete(Process* proc) {
 
   // Remove from the live table (swap-with-last).
   const std::size_t idx = proc->live_index;
-  assert(idx < live_.size() && live_[idx].get() == proc);
+  assert(idx < live_.size() && live_[idx] == proc);
   if (last_on_cpu_ == proc) last_on_cpu_ = nullptr;
   if (idx + 1 != live_.size()) {
-    live_[idx] = std::move(live_.back());
+    live_[idx] = live_.back();
     live_[idx]->live_index = idx;
   }
   live_.pop_back();
+  release_process(proc);
 
   if (obs_.trace != nullptr)
     obs_.trace->async_end(
@@ -243,7 +260,8 @@ void Node::complete(Process* proc) {
 void Node::ensure_tick() {
   if (tick_active_) return;
   tick_active_ = true;
-  engine_.schedule_after(os_.priority_update_period, [this] { on_tick(); });
+  engine_.schedule_node_tick(engine_.now() + os_.priority_update_period,
+                             this);
 }
 
 void Node::on_tick() {
@@ -253,18 +271,19 @@ void Node::on_tick() {
   }
   const int load = static_cast<int>(cpu_sched_.size()) +
                    (running_ != nullptr ? 1 : 0);
-  for (const auto& proc : live_)
+  for (Process* proc : live_)
     proc->p_cpu = cpu_sched_.decayed(proc->p_cpu, load);
   cpu_sched_.rebucket_all();
-  engine_.schedule_after(os_.priority_update_period, [this] { on_tick(); });
+  engine_.schedule_node_tick(engine_.now() + os_.priority_update_period,
+                             this);
 }
 
 bool Node::abort(std::uint64_t job_id) {
   assert(alive_);
   Process* proc = nullptr;
-  for (const auto& owned : live_) {
-    if (owned->job.id == job_id) {
-      proc = owned.get();
+  for (Process* live : live_) {
+    if (live->job.id == job_id) {
+      proc = live;
       break;
     }
   }
@@ -333,12 +352,13 @@ bool Node::abort(std::uint64_t job_id) {
                           id_, job_id, now, {{"abandoned", 1}});
   if (last_on_cpu_ == proc) last_on_cpu_ = nullptr;
   const std::size_t idx = proc->live_index;
-  assert(idx < live_.size() && live_[idx].get() == proc);
+  assert(idx < live_.size() && live_[idx] == proc);
   if (idx + 1 != live_.size()) {
-    live_[idx] = std::move(live_.back());
+    live_[idx] = live_.back();
     live_[idx]->live_index = idx;
   }
   live_.pop_back();
+  release_process(proc);
 
   if (was_running) try_dispatch();
   if (was_disk_active) try_disk();
@@ -386,7 +406,7 @@ std::vector<Job> Node::crash() {
 
   std::vector<Job> dropped;
   dropped.reserve(live_.size());
-  for (auto& proc : live_) {
+  for (Process* proc : live_) {
     memory_.release(proc->granted_pages);
     if (obs_.trace != nullptr)
       obs_.trace->async_end(
@@ -394,6 +414,7 @@ std::vector<Job> Node::crash() {
           proc->job.request.is_dynamic() ? "cgi" : "file", id_,
           proc->job.id, now, {{"dropped", 1}});
     dropped.push_back(std::move(proc->job));
+    release_process(proc);
   }
   live_.clear();
   return dropped;

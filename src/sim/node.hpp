@@ -5,8 +5,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <memory>
 #include <vector>
 
 #include "obs/trace.hpp"
@@ -124,6 +124,10 @@ class Node {
   Time total_context_switch() const { return total_context_switch_; }
 
  private:
+  // The engine dispatches the typed slice-end/tick events straight into
+  // the private handlers below.
+  friend class Engine;
+
   void route(Process* proc);
   void enter_ready(Process* proc);
   void try_dispatch();
@@ -136,6 +140,13 @@ class Node {
   void complete(Process* proc);
   void ensure_tick();
   void on_tick();
+
+  /// Pops a recycled process from the free list (or grows the arena) and
+  /// resets every behavioral field to its freshly-constructed value; the
+  /// cycle vector keeps its capacity so steady-state submit() is
+  /// allocation-free.
+  Process* acquire_process();
+  void release_process(Process* proc) { free_procs_.push_back(proc); }
 
   /// Converts CPU work (reference seconds) to wall time on this node.
   Time cpu_wall(Time work) const;
@@ -150,7 +161,13 @@ class Node {
   DiskScheduler disk_sched_;
   MemoryManager memory_;
 
-  std::vector<std::unique_ptr<Process>> live_;
+  std::vector<Process*> live_;
+
+  // Process arena: deque for stable addresses, free list for O(1) reuse.
+  // Processes are never destroyed while the node lives; completed ones go
+  // back on the free list with their burst-plan capacity intact.
+  std::deque<Process> arena_;
+  std::vector<Process*> free_procs_;
 
   // CPU dispatch state. `cpu_epoch_` lazily cancels stale slice-end events.
   Process* running_ = nullptr;

@@ -7,6 +7,13 @@ namespace wsched::sim {
 
 std::vector<BurstCycle> plan_bursts(Time demand, double w,
                                     const OsParams& os) {
+  std::vector<BurstCycle> plan;
+  plan_bursts_into(demand, w, os, plan);
+  return plan;
+}
+
+void plan_bursts_into(Time demand, double w, const OsParams& os,
+                      std::vector<BurstCycle>& out) {
   w = std::clamp(w, 0.0, 1.0);
   if (demand < 0) demand = 0;
   const Time cpu_total =
@@ -19,17 +26,12 @@ std::vector<BurstCycle> plan_bursts(Time demand, double w,
         1, (io_total + os.io_cycle_target / 2) / os.io_cycle_target));
   }
 
-  std::vector<BurstCycle> plan(cycles);
   const Time cpu_each = cpu_total / static_cast<Time>(cycles);
   const Time io_each = io_total / static_cast<Time>(cycles);
-  for (auto& cycle : plan) {
-    cycle.cpu = cpu_each;
-    cycle.io = io_each;
-  }
+  out.assign(cycles, BurstCycle{cpu_each, io_each});
   // Conserve totals exactly: the last cycle absorbs integer remainders.
-  plan.back().cpu += cpu_total - cpu_each * static_cast<Time>(cycles);
-  plan.back().io += io_total - io_each * static_cast<Time>(cycles);
-  return plan;
+  out.back().cpu += cpu_total - cpu_each * static_cast<Time>(cycles);
+  out.back().io += io_total - io_each * static_cast<Time>(cycles);
 }
 
 }  // namespace wsched::sim

@@ -39,6 +39,12 @@ struct BurstCycle {
 std::vector<BurstCycle> plan_bursts(Time demand, double w,
                                     const OsParams& os);
 
+/// In-place variant: overwrites `out`, reusing its capacity. This is the
+/// hot-path entry point — pooled processes keep their cycle vector across
+/// reuse, so steady-state dispatch plans bursts without allocating.
+void plan_bursts_into(Time demand, double w, const OsParams& os,
+                      std::vector<BurstCycle>& out);
+
 enum class ProcState : std::uint8_t {
   kReady,       ///< in the CPU ready queue
   kRunning,     ///< holding the CPU

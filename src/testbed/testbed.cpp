@@ -83,7 +83,7 @@ struct NodeState {
 
 struct SharedState {
   std::mutex route_mu;  ///< guards load infos + reservation + dispatcher rng
-  std::vector<core::LoadInfo> load;
+  core::LoadVec load;
   /// Per-receiver dispatch knowledge, as in core::ClusterSim.
   std::vector<core::DispatchFeedback> feedbacks;
   std::unique_ptr<core::ReservationController> reservation;

@@ -102,7 +102,7 @@ TEST(PerReceiverFeedback, DebitsAreLocalToTheReceiver) {
 }
 
 TEST(PerReceiverFeedback, ViewFallsBackWithoutFeedbacks) {
-  std::vector<core::LoadInfo> load(2, core::LoadInfo{0.7, 0.6});
+  core::LoadVec load(2, core::LoadInfo{0.7, 0.6});
   core::ClusterView view;
   view.load = &load;
   view.p = 2;

@@ -451,18 +451,19 @@ TEST(ObsDecisions, RecordsExplainRouting) {
       EXPECT_LT(record.w, 0.0);
       EXPECT_FALSE(record.remote);
       EXPECT_EQ(record.chosen, record.receiver);
-      EXPECT_TRUE(record.candidates.empty());
+      EXPECT_EQ(record.cand_count, 0u);
+      EXPECT_TRUE(decisions.candidates_of(record).empty());
     } else if (reason == "min-rsrc" || reason == "min-rsrc-reserved") {
       saw_rsrc = true;
       EXPECT_TRUE(record.dynamic);
       EXPECT_GT(record.w, 0.0);
       // Candidates serialize as "node:score|node:score|...".
-      ASSERT_FALSE(record.candidates.empty());
-      EXPECT_NE(record.candidates.find(':'), std::string::npos);
+      const std::string candidates = decisions.candidates_of(record);
+      ASSERT_FALSE(candidates.empty());
+      EXPECT_NE(candidates.find(':'), std::string::npos);
       // The chosen node must be in the candidate set.
-      EXPECT_NE(
-          record.candidates.find(std::to_string(record.chosen) + ":"),
-          std::string::npos);
+      EXPECT_NE(candidates.find(std::to_string(record.chosen) + ":"),
+                std::string::npos);
     } else {
       ADD_FAILURE() << "unexpected reason " << reason;
     }
@@ -476,15 +477,15 @@ TEST(ObsDecisions, CsvHasStableHeader) {
   obs::DecisionRecord record;
   record.at = from_seconds(1.5);
   record.reason = "min-rsrc";
-  record.candidates = "0:1.2|1:3.4";
-  decisions.record(record);
+  const obs::ScoredCandidate scored[] = {{0, 1.2}, {1, 3.4}};
+  decisions.record(record, scored, 2);
   std::ostringstream out;
   decisions.write_csv(out);
   EXPECT_NE(
       out.str().find("seq,t_s,class,receiver,chosen,remote,w,reason,"
                      "stale_s,w_hat,theta_eff,candidates"),
       std::string::npos);
-  EXPECT_NE(out.str().find("0:1.2|1:3.4"), std::string::npos);
+  EXPECT_NE(out.str().find("0:1.2000|1:3.4000"), std::string::npos);
 }
 
 // --- observability never perturbs results ---

@@ -463,6 +463,98 @@ TEST(Node, FasterDiskSpeedsIoJobs) {
   EXPECT_LT(fast.done[0].at, slow.done[0].at / 3);
 }
 
+TEST(Engine, TiesBreakByInsertionOrderBeyondCalendarWindow) {
+  // Times more than the calendar window (~1.07 simulated seconds) ahead
+  // land in the overflow heap; FIFO-at-equal-time must survive the trip
+  // through it and back into a bucket.
+  Engine engine;
+  constexpr Time kFar = 5'000'000'000;  // 5 s
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i)
+    engine.schedule_at(kFar, [&order, i] { order.push_back(i); });
+  engine.schedule_at(10, [&order] { order.push_back(-1); });
+  engine.run();
+  ASSERT_EQ(order.size(), 9u);
+  EXPECT_EQ(order.front(), -1);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i + 1)], i);
+  EXPECT_EQ(engine.now(), kFar);
+}
+
+TEST(Engine, SameTimeInsertDuringDrainRunsAfterQueuedPeers) {
+  // A handler scheduling at the current time must run after every event
+  // already queued for that time (later sequence number), within the same
+  // drain — not be lost or reordered ahead.
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(100, [&] {
+    order.push_back(0);
+    engine.schedule_at(100, [&order] { order.push_back(9); });
+  });
+  engine.schedule_at(100, [&order] { order.push_back(1); });
+  engine.schedule_at(100, [&order] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 9}));
+  EXPECT_EQ(engine.now(), 100);
+}
+
+TEST(Engine, ScatteredTimesDrainInNondecreasingOrder) {
+  // Stress the bucket ring + overflow heap with pseudo-random times
+  // spanning several window lengths; order must be globally sorted.
+  Engine engine;
+  std::vector<Time> seen;
+  std::uint64_t x = 0x9E3779B97F4A7C15ull;
+  constexpr int kEvents = 5000;
+  for (int i = 0; i < kEvents; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const Time t = static_cast<Time>(x % 4'000'000'000ull);
+    engine.schedule_at(t, [&seen, &engine] { seen.push_back(engine.now()); });
+  }
+  engine.run();
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(kEvents));
+  for (std::size_t i = 1; i < seen.size(); ++i)
+    EXPECT_LE(seen[i - 1], seen[i]) << "at event " << i;
+  EXPECT_EQ(engine.events_processed(), static_cast<std::uint64_t>(kEvents));
+}
+
+TEST(Engine, RunUntilThenLaterSchedulesStaySorted) {
+  // run_until parks the drain cursor mid-bucket; later schedule_at calls
+  // both before and after the parked point must still drain in order.
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(1'000'000, [&order] { order.push_back(1); });
+  engine.schedule_at(3'000'000'000, [&order] { order.push_back(4); });
+  engine.run_until(2'000'000);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  engine.schedule_at(2'500'000, [&order] { order.push_back(2); });
+  engine.schedule_at(2'000'000'000, [&order] { order.push_back(3); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Node, ProcessArenaReusesSlotsAcrossWaves) {
+  // Sequential waves of jobs must recycle pooled Process slots (ASan
+  // would flag a stale pointer if release/acquire mismatched) and leave
+  // no live processes between waves.
+  NodeHarness h;
+  constexpr int kWaves = 5;
+  constexpr int kPerWave = 64;
+  for (int wave = 0; wave < kWaves; ++wave) {
+    h.engine.schedule_at(h.engine.now(), [&h, wave] {
+      for (int i = 0; i < kPerWave; ++i)
+        h.node->submit(make_job(
+            static_cast<std::uint64_t>(wave * kPerWave + i),
+            (1 + i % 4) * kMillisecond, i % 2 ? 0.8 : 0.2, i % 3 == 0));
+    });
+    h.engine.run();
+    EXPECT_EQ(h.node->live_processes(), 0u) << "wave " << wave;
+  }
+  EXPECT_EQ(h.done.size(), static_cast<std::size_t>(kWaves * kPerWave));
+  EXPECT_EQ(h.node->completed(),
+            static_cast<std::uint64_t>(kWaves * kPerWave));
+}
+
 TEST(Node, ManyJobsAllComplete) {
   NodeHarness h;
   constexpr int kJobs = 500;

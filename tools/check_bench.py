@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Compare a fresh micro_bench --bench-json run against the tracked baseline.
+
+Usage:
+    tools/check_bench.py FRESH.json [--baseline BENCH_micro.json]
+                         [--max-regression 0.25]
+
+The tracked baseline (BENCH_micro.json at the repo root) holds one row per
+canonical throughput point. Rows whose "point" starts with "pre-refactor:"
+are a historical record of the seed-era engine (kept so the before/after
+delta of the PR that introduced the calendar engine stays visible in the
+artifact history); they are never compared against.
+
+A fresh row regresses when its events_per_s falls more than
+--max-regression (default 25%) below the baseline row with the same point
+name. Points present on only one side are reported but don't fail the
+check (new points need a baseline update; retired points need pruning).
+
+Exit status: 0 = within budget, 1 = regression, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            rows = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"check_bench: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(rows, list):
+        print(f"check_bench: {path}: expected a JSON array of rows",
+              file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for row in rows:
+        point = row.get("point")
+        if point is None or "events_per_s" not in row:
+            print(f"check_bench: {path}: row without point/events_per_s: "
+                  f"{row}", file=sys.stderr)
+            sys.exit(2)
+        out[point] = float(row["events_per_s"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="bench JSON from the current build")
+    parser.add_argument("--baseline", default="BENCH_micro.json",
+                        help="tracked baseline (default: BENCH_micro.json)")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional events/s drop (default 0.25)")
+    args = parser.parse_args()
+
+    baseline = {
+        point: eps
+        for point, eps in load_rows(args.baseline).items()
+        if not point.startswith("pre-refactor:")
+    }
+    fresh = load_rows(args.fresh)
+
+    failed = []
+    for point in sorted(baseline):
+        if point not in fresh:
+            print(f"check_bench: NOTE point '{point}' missing from fresh run")
+            continue
+        base = baseline[point]
+        now = fresh[point]
+        delta = (now - base) / base if base > 0 else 0.0
+        status = "ok"
+        if delta < -args.max_regression:
+            status = "REGRESSION"
+            failed.append(point)
+        print(f"check_bench: {point}: baseline {base:,.0f} ev/s, "
+              f"fresh {now:,.0f} ev/s ({delta:+.1%}) {status}")
+    for point in sorted(set(fresh) - set(baseline)):
+        print(f"check_bench: NOTE new point '{point}' not in baseline")
+
+    if failed:
+        print(
+            "check_bench: FAILED — events/s dropped more than "
+            f"{args.max_regression:.0%} on: {', '.join(failed)}.\n"
+            "If this slowdown is expected (new feature cost, measurement "
+            "methodology change), refresh the baseline and commit it:\n"
+            "    ./build/bench/micro_bench --benchmark_filter=BM_RsrcPick "
+            "--bench-json BENCH_micro.json\n"
+            "    git add BENCH_micro.json\n"
+            "Keep any pre-refactor:* rows — they are the historical record.",
+            file=sys.stderr,
+        )
+        return 1
+    print("check_bench: all points within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
