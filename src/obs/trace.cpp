@@ -159,7 +159,10 @@ void ChromeTraceSink::write(std::ostream& out) const {
   for (const Event& event : events_) {
     if (!first) out << ",\n";
     first = false;
-    out << "{\"name\":\"" << harness::json_escape(event.name)
+    // Sinks accept arbitrary const char* names; a nullptr (skipped by the
+    // recent-names ring too) serializes as an empty name, not UB.
+    out << "{\"name\":\""
+        << harness::json_escape(event.name != nullptr ? event.name : "")
         << "\",\"cat\":\"" << to_string(event.category) << "\",\"ph\":\""
         << event.phase << "\",\"pid\":" << event.pid
         << ",\"tid\":" << event.tid << ",\"ts\":";

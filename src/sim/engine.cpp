@@ -110,7 +110,19 @@ void Engine::insert(Event e) {
     std::push_heap(overflow_.begin(), overflow_.end(), kLater);
     return;
   }
-  if (b < cur_bucket_) {
+  if (ring_count_ == 0 && !cur_sorted_) {
+    // Ring fully drained: every bucket vector is empty (consumed leftovers
+    // only live in the cursor bucket while cur_sorted_ holds), so the
+    // cursor can jump anywhere. It must: run_until() may have parked now_
+    // arbitrarily far ahead of the last drained bucket, and if the lag
+    // exceeds one window, next_nonempty_after()'s absolute-index
+    // arithmetic (cur_bucket_ + 1 + delta) would resolve this event's slot
+    // to the wrong window — a bucket index off by a multiple of kBuckets —
+    // breaking the `b == cur_bucket_` sorted-insert check and with it the
+    // (t, seq) dispatch order. Pin the cursor to the event's own bucket.
+    cur_bucket_ = b;
+    run_pos_ = 0;
+  } else if (b < cur_bucket_) {
     // Only reachable when run_until() parked the cursor on a future bucket
     // and the caller then scheduled something earlier (still >= now_).
     // Rewind: the parked bucket keeps its bitmap bit and is re-sorted when

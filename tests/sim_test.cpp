@@ -533,6 +533,48 @@ TEST(Engine, RunUntilThenLaterSchedulesStaySorted) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
 }
 
+TEST(Engine, RunUntilPastWindowThenSchedulesStayOrdered) {
+  // run_until() on an empty calendar parks now() arbitrarily far ahead of
+  // the last drained bucket. When the gap exceeds the calendar window
+  // (2048 buckets ~ 1.07 simulated seconds), a stale cursor used to make
+  // next_nonempty_after() resolve the next event to a bucket index in the
+  // wrong window, so a mid-drain same-bucket insert missed the sorted
+  // insertion path and dispatched out of (t, seq) order.
+  Engine engine;
+  std::vector<Time> seen;
+  engine.run_until(5'000'000'000);  // 5 s: ~4.7 windows past bucket 0
+  EXPECT_EQ(engine.now(), 5'000'000'000);
+  engine.schedule_at(5'000'000'000, [&] {
+    seen.push_back(engine.now());
+    engine.schedule_at(5'000'000'500, [&] { seen.push_back(engine.now()); });
+  });
+  engine.schedule_at(5'000'001'000, [&] { seen.push_back(engine.now()); });
+  engine.run();
+  EXPECT_EQ(seen, (std::vector<Time>{5'000'000'000, 5'000'000'500,
+                                     5'000'001'000}));
+}
+
+TEST(Engine, RunUntilWithOnlyOverflowPendingKeepsCursorFresh) {
+  // Same stale-cursor shape, other trigger: run_until() stops short of an
+  // event still parked in the overflow heap, leaving the ring empty and
+  // now() more than a window ahead of the cursor. Later inserts around
+  // now() must still drain in globally sorted order, ahead of the parked
+  // overflow event.
+  Engine engine;
+  std::vector<Time> seen;
+  engine.schedule_at(3'000'000'000, [&] { seen.push_back(engine.now()); });
+  engine.run_until(2'000'000'000);  // beyond the window, short of the event
+  EXPECT_EQ(engine.now(), 2'000'000'000);
+  engine.schedule_at(2'000'000'000, [&] {
+    seen.push_back(engine.now());
+    engine.schedule_at(2'000'000'500, [&] { seen.push_back(engine.now()); });
+  });
+  engine.schedule_at(2'000'001'000, [&] { seen.push_back(engine.now()); });
+  engine.run();
+  EXPECT_EQ(seen, (std::vector<Time>{2'000'000'000, 2'000'000'500,
+                                     2'000'001'000, 3'000'000'000}));
+}
+
 TEST(Node, ProcessArenaReusesSlotsAcrossWaves) {
   // Sequential waves of jobs must recycle pooled Process slots (ASan
   // would flag a stale pointer if release/acquire mismatched) and leave

@@ -3,7 +3,7 @@
 
 Usage:
     tools/check_bench.py FRESH.json [--baseline BENCH_micro.json]
-                         [--max-regression 0.25]
+                         [--max-regression 0.25] [--advisory]
 
 The tracked baseline (BENCH_micro.json at the repo root) holds one row per
 canonical throughput point. Rows whose "point" starts with "pre-refactor:"
@@ -16,7 +16,15 @@ A fresh row regresses when its events_per_s falls more than
 name. Points present on only one side are reported but don't fail the
 check (new points need a baseline update; retired points need pruning).
 
-Exit status: 0 = within budget, 1 = regression, 2 = usage/IO error.
+With --advisory a regression is reported (as a ::warning:: annotation when
+running under GitHub Actions) but the exit status stays 0. CI uses this on
+shared hosted runners, where neighbor noise and differing CPU generations
+make absolute events/s comparisons against a baseline measured elsewhere
+too flaky to hard-fail on; run without --advisory on a quiet local machine
+for an enforcing check.
+
+Exit status: 0 = within budget (always 0 with --advisory unless IO fails),
+1 = regression, 2 = usage/IO error.
 """
 
 import argparse
@@ -53,6 +61,9 @@ def main():
                         help="tracked baseline (default: BENCH_micro.json)")
     parser.add_argument("--max-regression", type=float, default=0.25,
                         help="allowed fractional events/s drop (default 0.25)")
+    parser.add_argument("--advisory", action="store_true",
+                        help="report regressions as warnings, exit 0 "
+                             "(for noisy shared CI runners)")
     args = parser.parse_args()
 
     baseline = {
@@ -80,8 +91,9 @@ def main():
         print(f"check_bench: NOTE new point '{point}' not in baseline")
 
     if failed:
+        verdict = "ADVISORY" if args.advisory else "FAILED"
         print(
-            "check_bench: FAILED — events/s dropped more than "
+            f"check_bench: {verdict} — events/s dropped more than "
             f"{args.max_regression:.0%} on: {', '.join(failed)}.\n"
             "If this slowdown is expected (new feature cost, measurement "
             "methodology change), refresh the baseline and commit it:\n"
@@ -91,7 +103,14 @@ def main():
             "Keep any pre-refactor:* rows — they are the historical record.",
             file=sys.stderr,
         )
-        return 1
+        if not args.advisory:
+            return 1
+        # GitHub Actions surfaces this as a checks-page annotation; on
+        # other terminals it is just another log line.
+        print(f"::warning title=check_bench::events/s regression on "
+              f"{', '.join(failed)} (advisory: shared-runner timing noise "
+              f"can exceed the threshold; verify on quiet hardware)")
+        return 0
     print("check_bench: all points within budget")
     return 0
 
