@@ -28,6 +28,7 @@
 #include "harness/artifacts.hpp"
 #include "core/rsrc.hpp"
 #include "model/optimize.hpp"
+#include "obs/span.hpp"
 #include "sim/engine.hpp"
 #include "sim/node.hpp"
 #include "trace/generator.hpp"
@@ -149,7 +150,8 @@ BENCHMARK(BM_EndToEndClusterRun);
 /// number measures the simulation hot path (event engine, node state
 /// machines, RSRC dispatch) rather than trace synthesis.
 harness::ResultRow throughput_row(const std::string& id, int p,
-                                  double lambda, double duration_s) {
+                                  double lambda, double duration_s,
+                                  bool spans = false) {
   core::ExperimentSpec spec;
   spec.profile = trace::ksu_profile();
   spec.p = p;
@@ -182,6 +184,10 @@ harness::ResultRow throughput_row(const std::string& id, int p,
   core::RunResult run;
   double wall_s = 0.0;
   for (int rep = 0; rep < 3; ++rep) {
+    // Each rep gets its own recorder: the span pools must start empty for
+    // the replay to be the same work every time.
+    obs::SpanRecorder recorder;
+    if (spans) config.obs.spans = &recorder;
     const auto start = std::chrono::steady_clock::now();
     core::ClusterSim cluster(config, core::make_ms(ms_options));
     run = cluster.run(trace);
@@ -248,6 +254,10 @@ void write_bench_json(const std::string& path) {
   rows.push_back(engine_throughput_row());
   rows.push_back(throughput_row("ms-p8-l300", 8, 300.0, 2.0));
   rows.push_back(throughput_row("ms-p32-l1000", 32, 1000.0, 2.0));
+  // Same replay with span tracing live: the gap to ms-p8-l300 is the
+  // all-in cost of the request-causal span instrumentation.
+  rows.push_back(throughput_row("ms-p8-l300-spans", 8, 300.0, 2.0,
+                                /*spans=*/true));
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open " + path);
   harness::write_json(out, rows);

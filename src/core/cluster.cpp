@@ -67,6 +67,10 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
   // --- observability (all collectors optional; see obs/observer.hpp) ---
   obs::TraceSink* tracer = config_.obs.trace;
   obs::CounterRegistry* counters = config_.obs.counters;
+  obs::SpanRecorder* spans = config_.obs.spans;
+  // Flow events ride the trace but only exist when spans are on, so a
+  // span-off trace keeps its exact bytes.
+  obs::TraceSink* flow = spans != nullptr ? tracer : nullptr;
   const int cluster_pid = config_.p;  ///< pseudo-pid for cluster-level lanes
   const bool net_on = config_.net.enabled;
   const bool ctrl_on = config_.ctrl.any();
@@ -142,6 +146,7 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
 
   sim::NodeObsHooks node_hooks;
   node_hooks.trace = tracer;
+  node_hooks.spans = spans;
   node_hooks.forks = counter("cpu.forks");
   node_hooks.context_switches = counter("cpu.context_switches");
   node_hooks.preemptions = counter("cpu.preemptions");
@@ -236,6 +241,7 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     rpc_hooks.retries = c_net_rpc_retries;
     rpc_hooks.failures = c_net_rpc_failures;
     rpc_hooks.duplicates = c_net_duplicates;
+    rpc_hooks.spans = spans;
     rpc->set_hooks(rpc_hooks);
     stale_view.emplace(config_.p);
   }
@@ -436,7 +442,12 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     overload->set_on_degraded(
         [&](bool degraded) { reservation.set_degraded(degraded); });
     // Abandonment is terminal: the request leaves the system here.
-    overload->set_on_abandon([&](std::uint64_t) {
+    overload->set_on_abandon([&](std::uint64_t id) {
+      if (spans != nullptr)
+        spans->terminal(id, obs::SpanOutcome::kAbandoned, engine.now());
+      if (flow != nullptr)
+        flow->flow(obs::Category::kRequest, 'f', "req", cluster_pid,
+                   obs::kLaneOverload, engine.now(), id);
       if (--remaining == 0) engine.stop();
     });
     view.breakers = overload->breakers();
@@ -462,6 +473,17 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
           if (overload_on && !overload->on_complete(job, i, completion))
             return;
           ++completed_jobs;
+          if (spans != nullptr) {
+            // The final job is authoritative for class/demand (a cache
+            // hit may have demoted a dynamic request mid-flight).
+            spans->on_class(job.id, job.request.is_dynamic(),
+                            job.request.service_demand);
+            spans->terminal(job.id, obs::SpanOutcome::kCompleted,
+                            completion);
+          }
+          if (flow != nullptr)
+            flow->flow(obs::Category::kRequest, 'f', "req", i,
+                       obs::kLaneRequest, completion, job.id);
           metrics.record(job, completion);
           reservation.record_completion(job.request.is_dynamic(),
                                         completion - job.cluster_arrival);
@@ -526,6 +548,11 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
                   "t=%.3fs job %llu timed out after %u attempts",
                   to_seconds(engine.now()),
                   static_cast<unsigned long long>(job.id), job.attempts);
+        if (spans != nullptr)
+          spans->terminal(job.id, obs::SpanOutcome::kTimeout, engine.now());
+        if (flow != nullptr)
+          flow->flow(obs::Category::kRequest, 'f', "req", cluster_pid,
+                     obs::kLaneDispatch, engine.now(), job.id);
         if (--remaining == 0) engine.stop();
         return;
       }
@@ -538,6 +565,13 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
             {{"job", job.id},
              {"attempts", static_cast<std::uint64_t>(job.attempts)}});
       if (overload_on) overload->note_waiting(job.id);
+      if (spans != nullptr) {
+        // Failover wait charges to the backoff phase. Without the net
+        // model the flat remote hop latency is folded into this same
+        // delay, so it lands in backoff too (DESIGN.md section 15).
+        spans->begin_backoff(job.id, engine.now(), /*admission=*/false);
+        spans->note(job.id, "redispatch", engine.now(), job.attempts);
+      }
       // With the net model on, the hop cost is the RPC wire itself
       // (sampled latency, retransmits) — not a flat add-on here.
       Time delay = overload::backoff_delay(config_.fault.redispatch_backoff,
@@ -594,6 +628,7 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
   }
   if (net_on) {
     net_dispatch = [&](sim::Job job, int target_idx) {
+      if (spans != nullptr) spans->begin_net(job.id, engine.now());
       rpc->call(
           job.receiver, target_idx,
           /*on_deliver=*/
@@ -644,8 +679,15 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
                       to_seconds(engine.now()),
                       static_cast<unsigned long long>(job.id),
                       config_.net.rpc_max_attempts);
+            if (spans != nullptr)
+              spans->terminal(job.id, obs::SpanOutcome::kTimeout,
+                              engine.now());
+            if (flow != nullptr)
+              flow->flow(obs::Category::kRequest, 'f', "req", cluster_pid,
+                         obs::kLaneNet, engine.now(), job.id);
             if (--remaining == 0) engine.stop();
-          });
+          },
+          /*tag=*/job.id);
     };
   }
 
@@ -850,6 +892,10 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
           (0.3 + 0.7 * size_bytes / 15027.0) / config_.cache_hit_mu);
       job.request.cpu_fraction = 0.4;
       job.request.mem_pages = size_bytes / config_.os.page_bytes + 1;
+      if (spans != nullptr) {
+        spans->on_class(job.id, false, job.request.service_demand);
+        spans->note(job.id, "cache-hit", engine.now());
+      }
     }
     job.remote = decision.remote;
     obs::bump(c_requests);
@@ -863,6 +909,9 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
                        {"node", decision.node},
                        {"remote", decision.remote ? 1 : 0},
                        {"dynamic", was_dynamic ? 1 : 0}});
+    if (flow != nullptr)
+      flow->flow(obs::Category::kRequest, 't', "req", cluster_pid,
+                 obs::kLaneDispatch, engine.now(), job.id);
     if (!cache_hit && decision.rsrc_w >= 0.0 && was_dynamic)
       feedbacks[static_cast<std::size_t>(decision.receiver)].on_dispatch(
           static_cast<std::size_t>(decision.node), decision.rsrc_w);
@@ -871,6 +920,10 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     if (overload_on) overload->note_dispatch(target_idx);
     if (decision.remote && job.request.is_dynamic()) {
       if (overload_on) overload->note_waiting(job.id);
+      // Without the net model the remote hop is a flat latency charge;
+      // with it the RPC leg (begin_net) starts inside net_dispatch.
+      if (!net_on && spans != nullptr)
+        spans->begin_hop(job.id, engine.now());
       if (net_on) {
         // The dispatch hop is a real message now: sampled latency, loss
         // surfacing as RPC retransmits, failover past the attempt cap.
@@ -1026,6 +1079,11 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
         for (sim::Job& job : drained) {
           ++ctrl_migrations;
           obs::bump(c_ctrl_migrations);
+          if (spans != nullptr) {
+            // Migration rides the remote-dispatch hop; charge it there.
+            spans->begin_hop(job.id, now);
+            spans->note(job.id, "migrate", now, victim);
+          }
           if (overload_on) overload->note_waiting(job.id);
           sim::Job moved = std::move(job);
           engine.schedule_after(
@@ -1086,10 +1144,21 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
                   to_seconds(engine.now()),
                   static_cast<unsigned long long>(job.id), reason,
                   job.attempts);
+        if (spans != nullptr)
+          spans->terminal(job.id, obs::SpanOutcome::kShed, engine.now());
+        if (flow != nullptr)
+          flow->flow(obs::Category::kRequest, 'f', "req", cluster_pid,
+                     obs::kLaneOverload, engine.now(), job.id);
         if (--remaining == 0) engine.stop();
         return;
       }
       ++job.attempts;
+      if (spans != nullptr) {
+        // Client retry wait is part of getting admitted, so it charges to
+        // the admission phase (not failover backoff).
+        spans->begin_backoff(job.id, engine.now(), /*admission=*/true);
+        spans->note(job.id, "retry", engine.now(), job.attempts);
+      }
       overload->count_retry(job.id);
       overload->note_waiting(job.id);
       const Time delay = overload::backoff_delay(
@@ -1127,6 +1196,12 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     job.id = next_id++;
     job.request = rec;
     job.cluster_arrival = engine.now();
+    if (spans != nullptr)
+      spans->on_arrival(job.id, engine.now(), rec.is_dynamic(),
+                        rec.service_demand, cluster_pid);
+    if (flow != nullptr)
+      flow->flow(obs::Category::kRequest, 's', "req", cluster_pid,
+                 obs::kLaneDispatch, engine.now(), job.id);
     if (ctrl_on) estimator->on_arrival();
     if (overload_on) overload->arm_deadline(job);
     if (faults_on && declared_healthy() == 0) {

@@ -203,6 +203,11 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     decision_log = std::make_unique<obs::DecisionLog>();
     obs.decisions = decision_log.get();
   }
+  std::unique_ptr<obs::SpanRecorder> span_recorder;
+  if (spec.obs.spans_on() && obs.spans == nullptr) {
+    span_recorder = std::make_unique<obs::SpanRecorder>();
+    obs.spans = span_recorder.get();
+  }
   config.obs = obs;
   config.max_events = spec.max_events;
   config.wall_budget_s = spec.wall_budget_s;
@@ -232,6 +237,14 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     probe_recorder->write_csv_file(derive_probe_path(spec.obs));
   if (decision_log != nullptr)
     decision_log->write_csv_file(spec.obs.decision_log_path);
+  if (obs.spans != nullptr) {
+    result.spans = obs.spans->summarize();
+    // The exemplar file is only written for a harness-materialized
+    // recorder; a caller-attached one is the caller's to dump.
+    if (span_recorder != nullptr && !spec.obs.span_path.empty())
+      span_recorder->write_exemplars_file(spec.obs.span_path,
+                                          spec.obs.exemplars);
+  }
   return result;
 }
 

@@ -128,6 +128,9 @@ struct ExperimentResult {
   int m_used = 0;
   int k_used = 0;
   std::string scheduler;
+  /// Per-class latency decomposition from span tracing; `enabled` is false
+  /// (and every field zero) unless the run recorded spans.
+  obs::SpanSummary spans;
 };
 
 /// The input trace for a spec — including the mid-run workload flip and

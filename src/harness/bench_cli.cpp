@@ -19,6 +19,9 @@ BenchCli::BenchCli(int argc, const char* const* argv)
   obs.probe_interval_s = args.get_double("probe-interval", 0.0);
   obs.probe_path = args.get("probe-out", "");
   obs.decision_log_path = args.get("decision-log", "");
+  obs.spans = args.get_bool("spans", false);
+  obs.span_path = args.get("span-out", "");
+  obs.exemplars = static_cast<int>(args.get_int("exemplars", obs.exemplars));
   if (args.has("log")) {
     obs::set_log_level(obs::parse_log_level(args.get("log", "off")));
   } else {
@@ -117,6 +120,7 @@ obs::ObsConfig obs_for_point(const obs::ObsConfig& base, std::size_t index,
   result.trace_path = suffix_path(base.trace_path, index);
   result.probe_path = suffix_path(base.probe_path, index);
   result.decision_log_path = suffix_path(base.decision_log_path, index);
+  result.span_path = suffix_path(base.span_path, index);
   // Probes on with neither an explicit path nor a trace to derive from
   // would collapse every point onto "probes.csv"; pin the default here.
   if (base.probe_interval_s > 0.0 && base.probe_path.empty() &&

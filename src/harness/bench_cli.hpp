@@ -18,6 +18,13 @@
 //   --probe-out FILE     probe CSV path (default: derived from --trace,
 //                        else probes.csv)
 //   --decision-log FILE  per-dispatch decision records as CSV
+//   --spans              request-causal span tracing: per-phase latency
+//                        decomposition columns (span_*) in the artifacts,
+//                        and flow arrows in --trace output
+//   --span-out FILE      worst-K exemplar span trees as JSON (implies
+//                        --spans); with more than one point, files are
+//                        suffixed -p<index>
+//   --exemplars K        exemplars dumped per request class (default 3)
 //   --log LEVEL          structured-diagnostics verbosity
 //                        (off|warn|info|debug; also via WSCHED_LOG)
 //

@@ -159,9 +159,11 @@ SweepRun run_sweep(const SweepSpec& spec, const SweepOptions& options,
 
 ResultRow experiment_row(const GridPoint& point) {
   ResultRow row;
-  append_metrics(row, core::run_experiment(point.spec));
+  const core::ExperimentResult result = core::run_experiment(point.spec);
+  append_metrics(row, result);
   const model::Workload w = core::analytic_workload(point.spec);
   row.set("offered_load", w.offered_load() / point.spec.p);
+  if (result.spans.enabled) append_span_metrics(row, result);
   return row;
 }
 
@@ -249,6 +251,24 @@ void append_ctrl_metrics(ResultRow& row,
       .set("ctrl_r_hat", r.ctrl_r_hat)
       .set("energy_node_s", r.energy_node_s)
       .set("powered_min", r.powered_min);
+}
+
+void append_span_metrics(ResultRow& row,
+                        const core::ExperimentResult& result) {
+  const obs::SpanSummary& s = result.spans;
+  static const char* const kClassName[2] = {"static", "dynamic"};
+  for (int c = 0; c < 2; ++c) {
+    const obs::SpanClassSummary& cls = s.cls[c];
+    const std::string prefix = std::string("span_") + kClassName[c] + "_";
+    row.set(prefix + "n", static_cast<unsigned long long>(cls.count))
+        .set(prefix + "sojourn_s", cls.mean_sojourn_s());
+    for (std::size_t ph = 0; ph < obs::kSpanPhaseCount; ++ph) {
+      const auto phase = static_cast<obs::SpanPhase>(ph);
+      row.set(prefix + obs::to_string(phase) + "_s", cls.mean_phase_s(phase));
+    }
+  }
+  row.set("span_closure_violations",
+          static_cast<unsigned long long>(s.closure_violations));
 }
 
 }  // namespace wsched::harness

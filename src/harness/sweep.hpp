@@ -160,4 +160,12 @@ void append_net_metrics(ResultRow& row, const core::ExperimentResult& result);
 void append_ctrl_metrics(ResultRow& row,
                          const core::ExperimentResult& result);
 
+/// Appends the span latency decomposition: per-class terminated-request
+/// counts, mean sojourn, mean seconds in each of the eight ledger phases
+/// (span_<class>_<phase>_s) and the closure self-check. experiment_row
+/// calls this only when the result carries spans, so the established
+/// spans-off schema — and its byte-identity contract — never changes.
+void append_span_metrics(ResultRow& row,
+                        const core::ExperimentResult& result);
+
 }  // namespace wsched::harness

@@ -16,12 +16,13 @@ Rpc::Rpc(sim::Engine& engine, Network& network, Options options,
       rng_(seed, kRpcBackoffStream) {}
 
 std::uint64_t Rpc::call(int src, int dst, std::function<void()> on_deliver,
-                        std::function<void()> on_fail) {
+                        std::function<void()> on_fail, std::uint64_t tag) {
   const std::uint64_t id = next_id_++;
   ++calls_started_;
   Call call;
   call.src = src;
   call.dst = dst;
+  call.tag = tag;
   call.on_deliver = std::move(on_deliver);
   call.on_fail = std::move(on_fail);
   calls_.emplace(id, std::move(call));
@@ -47,6 +48,8 @@ void Rpc::on_data(std::uint64_t id) {
     obs::bump(hooks_.duplicates);
     const auto it = calls_.find(id);
     if (it != calls_.end()) {
+      if (hooks_.spans != nullptr && it->second.tag != 0)
+        hooks_.spans->note(it->second.tag, "rpc-dup", engine_.now());
       if (hooks_.trace != nullptr)
         hooks_.trace->instant(obs::Category::kNet, "rpc-dup",
                               hooks_.cluster_pid, obs::kLaneNet, engine_.now(),
@@ -79,6 +82,9 @@ void Rpc::on_timeout(std::uint64_t id, int attempt) {
     call.attempt += 1;
     ++retries_;
     obs::bump(hooks_.retries);
+    if (hooks_.spans != nullptr && call.tag != 0)
+      hooks_.spans->note(call.tag, "rpc-retransmit", engine_.now(),
+                         static_cast<std::uint64_t>(call.attempt));
     if (hooks_.trace != nullptr)
       hooks_.trace->instant(obs::Category::kNet, "rpc-retry",
                             hooks_.cluster_pid, obs::kLaneNet, engine_.now(),

@@ -22,6 +22,7 @@
 
 #include "net/network.hpp"
 #include "obs/counters.hpp"
+#include "obs/span.hpp"
 #include "overload/backoff.hpp"
 #include "sim/engine.hpp"
 #include "util/rng.hpp"
@@ -50,6 +51,7 @@ class Rpc {
 
   struct Hooks {
     obs::TraceSink* trace = nullptr;
+    obs::SpanRecorder* spans = nullptr;
     int cluster_pid = 0;
     std::uint64_t* retries = nullptr;
     std::uint64_t* failures = nullptr;
@@ -64,9 +66,11 @@ class Rpc {
   /// Starts one at-least-once call from node `src` to node `dst`.
   /// `on_deliver` runs exactly once, at the receiver, when the first copy
   /// arrives; `on_fail` runs when all attempts time out without any copy
-  /// having been delivered. Returns the call id.
+  /// having been delivered. Returns the call id. `tag` ties the call to a
+  /// request for span attribution (0 = untagged): retransmits and dedup
+  /// drops become notes on that request's span tree.
   std::uint64_t call(int src, int dst, std::function<void()> on_deliver,
-                     std::function<void()> on_fail);
+                     std::function<void()> on_fail, std::uint64_t tag = 0);
 
   std::uint64_t calls() const { return calls_started_; }
   std::uint64_t retries() const { return retries_; }
@@ -81,6 +85,7 @@ class Rpc {
     int dst = 0;
     int attempt = 1;
     bool delivered = false;
+    std::uint64_t tag = 0;  ///< owning request id for span attribution
     std::function<void()> on_deliver;
     std::function<void()> on_fail;
   };

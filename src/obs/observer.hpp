@@ -14,6 +14,7 @@
 #include "obs/counters.hpp"
 #include "obs/decision_log.hpp"
 #include "obs/probes.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace wsched::obs {
@@ -23,10 +24,11 @@ struct Observability {
   CounterRegistry* counters = nullptr;
   DecisionLog* decisions = nullptr;
   ProbeRecorder* probes = nullptr;
+  SpanRecorder* spans = nullptr;
 
   bool any() const {
     return trace != nullptr || counters != nullptr || decisions != nullptr ||
-           probes != nullptr;
+           probes != nullptr || spans != nullptr;
   }
 };
 
@@ -44,10 +46,21 @@ struct ObsConfig {
   std::string probe_path;
   /// Per-dispatch decision log CSV path; empty disables the log.
   std::string decision_log_path;
+  /// Request-causal span tracing: per-phase latency decomposition columns
+  /// plus (optionally) worst-K exemplar span trees. `span_path` implies
+  /// `spans` when set.
+  bool spans = false;
+  /// Worst-K exemplar JSON output path; empty skips the file (the
+  /// decomposition columns still appear when `spans` is on).
+  std::string span_path;
+  /// Exemplars dumped per request class, worst first by stretch.
+  int exemplars = 3;
+
+  bool spans_on() const { return spans || !span_path.empty(); }
 
   bool any() const {
     return !trace_path.empty() || probe_interval_s > 0.0 ||
-           !decision_log_path.empty();
+           !decision_log_path.empty() || spans_on();
   }
 };
 

@@ -98,6 +98,11 @@ void ChromeTraceSink::async_end(Category category, const char* name, int pid,
   push(category, 'e', name, pid, 0, t, args).id = id;
 }
 
+void ChromeTraceSink::flow(Category category, char phase, const char* name,
+                           int pid, int tid, Time t, std::uint64_t id) {
+  push(category, phase, name, pid, tid, t, {}).id = id;
+}
+
 void ChromeTraceSink::name_process(int pid, const std::string& name) {
   Event& event = push(Category::kLog, 'M', "process_name", pid, 0, 0, {});
   event.arg_begin = static_cast<std::uint32_t>(args_.size());
@@ -171,8 +176,12 @@ void ChromeTraceSink::write(std::ostream& out) const {
       out << ",\"dur\":";
       write_us(out, event.dur);
     }
-    if (event.phase == 'b' || event.phase == 'e')
+    if (event.phase == 'b' || event.phase == 'e' || event.phase == 's' ||
+        event.phase == 't' || event.phase == 'f')
       out << ",\"id\":\"0x" << std::hex << event.id << std::dec << '"';
+    // A finish flow binds to its enclosing slice so the arrow lands on
+    // the event that terminated the request.
+    if (event.phase == 'f') out << ",\"bp\":\"e\"";
     if (event.phase == 'i') out << ",\"s\":\"t\"";
     if (event.arg_count > 0) {
       out << ",\"args\":{";

@@ -98,6 +98,16 @@ class TraceSink {
   virtual void async_end(Category category, const char* name, int pid,
                          std::uint64_t id, Time t, TraceArgs args = {}) = 0;
 
+  /// Flow event ("s" start / "t" step / "f" finish) correlated by id:
+  /// draws the arrow that follows one request across the front-end,
+  /// network and node lanes in the trace viewer. Default is a no-op so
+  /// sinks that predate flows stay valid.
+  virtual void flow(Category category, char phase, const char* name, int pid,
+                    int tid, Time t, std::uint64_t id) {
+    (void)category; (void)phase; (void)name;
+    (void)pid; (void)tid; (void)t; (void)id;
+  }
+
   /// Names a pid / (pid, tid) in the trace viewer.
   virtual void name_process(int pid, const std::string& name) = 0;
   virtual void name_thread(int pid, int tid, const std::string& name) = 0;
@@ -123,6 +133,8 @@ class ChromeTraceSink final : public TraceSink {
                    std::uint64_t id, Time t, TraceArgs args = {}) override;
   void async_end(Category category, const char* name, int pid,
                  std::uint64_t id, Time t, TraceArgs args = {}) override;
+  void flow(Category category, char phase, const char* name, int pid,
+            int tid, Time t, std::uint64_t id) override;
   void name_process(int pid, const std::string& name) override;
   void name_thread(int pid, int tid, const std::string& name) override;
   std::string recent_summary() const override;
@@ -147,7 +159,7 @@ class ChromeTraceSink final : public TraceSink {
   // sequentially. The JSON formatting in write() is unchanged.
   struct Event {
     Category category;
-    char phase;  ///< 'X', 'i', 'C', 'b', 'e', 'M'
+    char phase;  ///< 'X', 'i', 'C', 'b', 'e', 'M', 's', 't', 'f'
     const char* name = nullptr;  ///< static literal at every call site
     int pid = 0;
     int tid = 0;

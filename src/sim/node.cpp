@@ -48,6 +48,8 @@ void Node::submit(Job job) {
   Process* proc = acquire_process();
   proc->job = std::move(job);
   proc->node_arrival = engine_.now();
+  if (obs_.spans != nullptr)
+    obs_.spans->begin_visit(proc->job.id, engine_.now(), id_);
 
   const trace::TraceRecord& req = proc->job.request;
   plan_bursts_into(req.service_demand, req.cpu_fraction, os_, proc->cycles);
@@ -72,6 +74,8 @@ void Node::submit(Job job) {
   const MemoryManager::Allocation alloc =
       memory_.allocate(req.mem_pages, req.service_demand);
   proc->granted_pages = alloc.granted;
+  if (alloc.paging_io > 0 && obs_.spans != nullptr)
+    obs_.spans->note(proc->job.id, "paging", engine_.now(), alloc.paging_io);
   if (alloc.paging_io > 0) {
     const Time per_cycle =
         alloc.paging_io / static_cast<Time>(proc->cycles.size());
@@ -106,6 +110,8 @@ void Node::route(Process* proc) {
 }
 
 void Node::enter_ready(Process* proc) {
+  if (obs_.spans != nullptr)
+    obs_.spans->cpu_wait(proc->job.id, engine_.now());
   cpu_sched_.enqueue(proc);
   if (running_ != nullptr && cpu_sched_.preempts(*proc, *running_))
     preempt_running();
@@ -135,6 +141,7 @@ void Node::preempt_running() {
                      {{"job", proc->job.id}, {"preempted", 1}});
   running_ = nullptr;
   ++cpu_epoch_;  // cancel the scheduled slice-end event
+  if (obs_.spans != nullptr) obs_.spans->cpu_wait(proc->job.id, now);
   cpu_sched_.enqueue(proc);
 }
 
@@ -152,6 +159,10 @@ void Node::try_dispatch() {
 
   slice_start_ = engine_.now() + cs;
   slice_work_ = std::min(os_.cpu_quantum, proc->cpu_left);
+  // The CPU phase is marked at the slice start — the switch itself
+  // charges to cpu_wait. A preemption or abort landing inside the switch
+  // window clamps against the future mark (see SpanRecorder).
+  if (obs_.spans != nullptr) obs_.spans->cpu_run(proc->job.id, slice_start_);
   const std::uint64_t token = ++cpu_epoch_;
   engine_.schedule_cpu_slice_end(slice_start_ + cpu_wall(slice_work_), this,
                                  token);
@@ -175,6 +186,8 @@ void Node::on_cpu_slice_end(std::uint64_t token) {
 
   if (proc->cpu_left > 0) {
     // Quantum expiry: back of the (re-derived) priority level.
+    if (obs_.spans != nullptr)
+      obs_.spans->cpu_wait(proc->job.id, engine_.now());
     cpu_sched_.enqueue(proc);
   } else if (proc->io_left > 0) {
     enter_disk(proc);
@@ -185,6 +198,8 @@ void Node::on_cpu_slice_end(std::uint64_t token) {
 }
 
 void Node::enter_disk(Process* proc) {
+  if (obs_.spans != nullptr)
+    obs_.spans->disk_wait(proc->job.id, engine_.now());
   disk_sched_.enqueue(proc);
   try_disk();
 }
@@ -196,6 +211,8 @@ void Node::try_disk() {
   disk_active_ = proc;
   disk_slice_start_ = engine_.now();
   disk_slice_work_ = disk_sched_.slice_for(*proc);
+  if (obs_.spans != nullptr)
+    obs_.spans->disk_run(proc->job.id, disk_slice_start_);
   const std::uint64_t token = disk_epoch_;
   engine_.schedule_disk_slice_end(
       disk_slice_start_ + disk_wall(disk_slice_work_), this, token);
@@ -216,6 +233,8 @@ void Node::on_disk_slice_end(std::uint64_t token) {
   disk_active_ = nullptr;
 
   if (proc->io_left > 0) {
+    if (obs_.spans != nullptr)
+      obs_.spans->disk_wait(proc->job.id, engine_.now());
     disk_sched_.enqueue(proc);  // round-robin: back of the ring
   } else {
     finish_cycle(proc);

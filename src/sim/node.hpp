@@ -9,6 +9,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "sim/cpu_sched.hpp"
 #include "sim/disk_sched.hpp"
@@ -25,6 +26,7 @@ namespace wsched::sim {
 /// caller's obs::CounterRegistry.
 struct NodeObsHooks {
   obs::TraceSink* trace = nullptr;
+  obs::SpanRecorder* spans = nullptr;
   std::uint64_t* forks = nullptr;
   std::uint64_t* context_switches = nullptr;
   std::uint64_t* preemptions = nullptr;

@@ -14,12 +14,15 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+
 #include "core/experiment.hpp"
 #include "harness/sweep.hpp"
 #include "obs/counters.hpp"
 #include "obs/decision_log.hpp"
 #include "obs/log.hpp"
 #include "obs/probes.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 
@@ -594,6 +597,282 @@ TEST(ObsGuard, PropagatesThroughExperiment) {
   core::ExperimentSpec spec = obs_spec();
   spec.max_events = 5000;  // far below what the run needs
   EXPECT_THROW(core::run_experiment(spec), sim::EngineGuardError);
+}
+
+// --- request-causal span tracing ---
+
+/// Per-job closure: the eight ledger phases must sum to the sojourn
+/// exactly (integer nanoseconds). Returns the number of terminated jobs.
+std::uint64_t assert_closure(const obs::SpanRecorder& spans) {
+  std::uint64_t terminated = 0;
+  for (std::uint64_t job = 0; job < spans.request_capacity(); ++job) {
+    if (!spans.recorded(job)) continue;
+    if (spans.outcome(job) == obs::SpanOutcome::kInFlight) continue;
+    ++terminated;
+    Time total = 0;
+    for (std::size_t ph = 0; ph < obs::kSpanPhaseCount; ++ph)
+      total += spans.phase_total(job, static_cast<obs::SpanPhase>(ph));
+    EXPECT_EQ(total, spans.sojourn(job))
+        << "closure violated for job " << job << " ("
+        << obs::to_string(spans.outcome(job)) << ")";
+  }
+  return terminated;
+}
+
+std::uint64_t outcome_count(const obs::SpanRecorder& spans,
+                            obs::SpanOutcome outcome) {
+  std::uint64_t n = 0;
+  for (std::uint64_t job = 0; job < spans.request_capacity(); ++job)
+    if (spans.recorded(job) && spans.outcome(job) == outcome) ++n;
+  return n;
+}
+
+TEST(ObsSpans, ClosureAndLedgerUnderOverload) {
+  // Overload drill: deadlines, queue shedding and client retries produce
+  // every admission-side outcome (completed, shed, abandoned) in one run.
+  obs::SpanRecorder spans;
+  core::ExperimentSpec spec = obs_spec();
+  spec.lambda = 1400;  // far past the p=6 knee so shedding really engages
+  spec.overload.deadline.static_s = 0.5;
+  spec.overload.deadline.dynamic_s = 1.0;
+  spec.overload.admission.policy = overload::AdmissionPolicy::kQueueDepth;
+  spec.overload.admission.max_queue = 4.0;
+  spec.overload.max_retries = 1;
+  spec.observer.spans = &spans;
+  const auto result = core::run_experiment(spec);
+
+  // Every submitted request was recorded and reached a terminal state.
+  EXPECT_EQ(outcome_count(spans, obs::SpanOutcome::kInFlight), 0u);
+  EXPECT_EQ(assert_closure(spans), result.run.submitted);
+
+  // The recorder's outcome tallies are the overload ledger, recounted.
+  EXPECT_EQ(outcome_count(spans, obs::SpanOutcome::kCompleted),
+            result.run.completed);
+  EXPECT_EQ(outcome_count(spans, obs::SpanOutcome::kShed), result.run.shed);
+  EXPECT_EQ(outcome_count(spans, obs::SpanOutcome::kAbandoned),
+            result.run.abandoned);
+  EXPECT_GT(result.run.shed, 0u);
+  EXPECT_GT(result.run.abandoned, 0u);
+
+  const obs::SpanSummary summary = spans.summarize();
+  EXPECT_TRUE(summary.enabled);
+  EXPECT_EQ(summary.closure_violations, 0u);
+  EXPECT_EQ(summary.cls[0].count + summary.cls[1].count,
+            result.run.submitted);
+  // Dynamic requests must spend CPU time; static ones disk time.
+  EXPECT_GT(summary.cls[1].phase_s[static_cast<int>(obs::SpanPhase::kCpu)],
+            0.0);
+  EXPECT_GT(summary.cls[0].phase_s[static_cast<int>(obs::SpanPhase::kDisk)],
+            0.0);
+}
+
+TEST(ObsSpans, ClosureAndAttemptsUnderFaults) {
+  // Crash + recovery: re-dispatched requests pick up extra node visits and
+  // failover-backoff time, and the ledger still closes for every outcome.
+  obs::SpanRecorder spans;
+  core::ExperimentSpec spec = obs_spec(11);
+  spec.lambda = 400;  // enough live work on the victim at crash time
+  spec.fault.enabled = true;
+  spec.fault.script.push_back(
+      {from_seconds(1.2), 2, fault::FaultKind::kCrash, 1.0, 1.0});
+  spec.fault.script.push_back(
+      {from_seconds(2.5), 2, fault::FaultKind::kRecover, 1.0, 1.0});
+  spec.observer.spans = &spans;
+  const auto result = core::run_experiment(spec);
+  ASSERT_GT(result.run.redispatches, 0u);
+
+  EXPECT_EQ(assert_closure(spans), result.run.submitted);
+  EXPECT_EQ(outcome_count(spans, obs::SpanOutcome::kCompleted),
+            result.run.completed);
+  EXPECT_EQ(outcome_count(spans, obs::SpanOutcome::kTimeout),
+            result.run.timeouts);
+
+  // At least one request visited more than one node, and some failover
+  // backoff time was charged cluster-wide.
+  std::uint32_t max_attempts = 0;
+  Time backoff_total = 0;
+  for (std::uint64_t job = 0; job < spans.request_capacity(); ++job) {
+    max_attempts = std::max(max_attempts, spans.attempts(job));
+    backoff_total += spans.phase_total(job, obs::SpanPhase::kBackoff);
+  }
+  EXPECT_GE(max_attempts, 2u);
+  EXPECT_GT(backoff_total, 0);
+}
+
+TEST(ObsSpans, SharedColumnsUnchangedAndSpanColumnsAppended) {
+  harness::GridPoint point;
+  point.spec = obs_spec();
+  const harness::ResultRow plain = harness::experiment_row(point);
+
+  point.spec.obs.spans = true;
+  const harness::ResultRow with_spans = harness::experiment_row(point);
+
+  // Spans only append columns: every spans-off field keeps its exact text.
+  for (const harness::Field& field : plain.fields()) {
+    ASSERT_TRUE(with_spans.has(field.name)) << field.name;
+    EXPECT_EQ(with_spans.text(field.name), field.text) << field.name;
+  }
+  EXPECT_FALSE(plain.has("span_static_n"));
+  EXPECT_TRUE(with_spans.has("span_static_n"));
+  EXPECT_TRUE(with_spans.has("span_dynamic_cpu_wait_s"));
+  EXPECT_EQ(with_spans.text("span_closure_violations"), "0");
+
+  // The decomposition means sum to the mean sojourn (up to print rounding).
+  for (const char* cls : {"static", "dynamic"}) {
+    const std::string prefix = std::string("span_") + cls + "_";
+    double phase_sum = 0.0;
+    for (const char* phase : {"admission", "backoff", "net", "hop",
+                              "cpu_wait", "cpu", "disk_wait", "disk"})
+      phase_sum += with_spans.number(prefix + phase + "_s");
+    EXPECT_NEAR(phase_sum, with_spans.number(prefix + "sojourn_s"),
+                1e-8 * std::max(1.0, phase_sum));
+    EXPECT_GT(with_spans.number(prefix + "n"), 0.0);
+  }
+}
+
+TEST(ObsSpans, ExemplarsDeterministicAcrossRunsAndJobs) {
+  obs::SpanRecorder a, b;
+  core::ExperimentSpec spec = obs_spec();
+  spec.observer.spans = &a;
+  core::run_experiment(spec);
+  spec.observer.spans = &b;
+  core::run_experiment(spec);
+  const std::string dump = a.exemplars_str(3);
+  EXPECT_EQ(dump, b.exemplars_str(3));
+  EXPECT_NE(dump.find("\"k\": 3"), std::string::npos);
+  EXPECT_NE(dump.find("\"exemplars\""), std::string::npos);
+  EXPECT_NE(dump.find("\"phases_ns\""), std::string::npos);
+  const auto parsed = JsonParser(dump).parse();
+  ASSERT_TRUE(parsed.has_value()) << "exemplar dump is not valid JSON";
+  const JsonValue* exemplars = parsed->find("exemplars");
+  ASSERT_NE(exemplars, nullptr);
+  ASSERT_GT(exemplars->items.size(), 0u);
+  // Worst-first within each class, exact integer closure per exemplar.
+  std::map<std::string, double> last_stretch;
+  for (const JsonValue& ex : exemplars->items) {
+    const std::string cls = ex.find("class")->text;
+    const double stretch = ex.find("stretch")->number;
+    const auto it = last_stretch.find(cls);
+    if (it != last_stretch.end()) {
+      EXPECT_LE(stretch, it->second);
+    }
+    last_stretch[cls] = stretch;
+    double phase_sum = 0.0;
+    for (const auto& [name, value] : ex.find("phases_ns")->fields)
+      phase_sum += value.number;
+    EXPECT_EQ(phase_sum,
+              ex.find("end_ns")->number - ex.find("arrival_ns")->number);
+  }
+
+  // A sweep with spans on stays byte-identical across worker counts.
+  harness::SweepSpec sweep;
+  sweep.base = obs_spec();
+  sweep.base.duration_s = 2.0;
+  sweep.base.obs.spans = true;
+  sweep.axes.push_back(
+      harness::lambda_axis(std::vector<double>{200.0, 300.0}));
+  harness::SweepOptions serial_opts, parallel_opts;
+  serial_opts.jobs = 1;
+  parallel_opts.jobs = 2;
+  const harness::SweepRun serial =
+      harness::run_sweep(sweep, serial_opts, harness::experiment_row);
+  const harness::SweepRun parallel =
+      harness::run_sweep(sweep, parallel_opts, harness::experiment_row);
+  std::ostringstream csv_serial, csv_parallel;
+  harness::write_csv(csv_serial, serial.rows);
+  harness::write_csv(csv_parallel, parallel.rows);
+  EXPECT_EQ(csv_serial.str(), csv_parallel.str());
+  EXPECT_NE(csv_serial.str().find("span_dynamic_cpu_wait_s"),
+            std::string::npos);
+}
+
+TEST(ObsSpans, FlowEventsPairUpInTrace) {
+  // Spans + trace: each request contributes one flow start ('s'), one
+  // dispatch step ('t') and one finish ('f'), all sharing the job id.
+  obs::ChromeTraceSink sink;
+  obs::SpanRecorder spans;
+  core::ExperimentSpec spec = obs_spec();
+  spec.observer.trace = &sink;
+  spec.observer.spans = &spans;
+  const auto result = core::run_experiment(spec);
+
+  const auto parsed = JsonParser(sink.str()).parse();
+  ASSERT_TRUE(parsed.has_value());
+  const JsonValue* events = parsed->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::uint64_t starts = 0, steps = 0, finishes = 0;
+  for (const JsonValue& event : events->items) {
+    const JsonValue* ph = event.find("ph");
+    if (ph->text != "s" && ph->text != "t" && ph->text != "f") continue;
+    ASSERT_NE(event.find("id"), nullptr);
+    EXPECT_EQ(event.find("cat")->text, "request");
+    if (ph->text == "s") ++starts;
+    if (ph->text == "t") ++steps;
+    if (ph->text == "f") {
+      ++finishes;
+      ASSERT_NE(event.find("bp"), nullptr);  // binds to enclosing slice
+      EXPECT_EQ(event.find("bp")->text, "e");
+    }
+  }
+  EXPECT_EQ(starts, result.run.submitted);
+  EXPECT_EQ(finishes, result.run.submitted);  // every request terminated
+  EXPECT_GE(steps, starts);  // one dispatch step, failovers add more
+
+  // Without spans the same run's trace carries no flow events at all —
+  // the spans-off byte-identity contract for trace artifacts.
+  obs::ChromeTraceSink plain_sink;
+  spec.observer.trace = &plain_sink;
+  spec.observer.spans = nullptr;
+  core::run_experiment(spec);
+  const std::string plain = plain_sink.str();
+  EXPECT_EQ(plain.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_EQ(plain.find("\"ph\":\"f\""), std::string::npos);
+}
+
+TEST(ObsSpans, SpansOffCostsUnderTenPercentOfEngineThroughput) {
+  // The zero-cost-when-off contract, measured: every instrumentation site
+  // is a single null-pointer branch, so the BENCH_micro engine-1m kernel
+  // must keep >= 90% of its events/s when its closures carry that guard
+  // with spans disabled. Interleaved best-of-5 so machine noise hits both
+  // kernels alike. (The spans-ON replay cost is a feature cost, tracked by
+  // the ms-p8-l300-spans point in BENCH_micro.json, not bounded here.)
+  constexpr std::uint64_t kTotal = 1'000'000;
+  obs::SpanRecorder* const spans = nullptr;  // spans off
+  auto time_kernel = [&](bool guarded) {
+    sim::Engine engine;
+    std::uint64_t done = 0;
+    std::uint64_t x = 0x2545F4914F6CDD1Dull;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < kTotal; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      const Time at = static_cast<Time>(x % 1'000'000'000ull);
+      if (guarded) {
+        engine.schedule_at(at, [&done, spans] {
+          ++done;
+          if (spans != nullptr) spans->note(0, "tick", 0);  // never taken
+        });
+      } else {
+        engine.schedule_at(at, [&done] { ++done; });
+      }
+    }
+    engine.run();
+    if (done != kTotal) throw std::runtime_error("kernel lost events");
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  time_kernel(false);  // warm up allocators and caches
+  double bare = 1e300, guarded = 1e300;
+  for (int round = 0; round < 5; ++round) {
+    bare = std::min(bare, time_kernel(false));
+    guarded = std::min(guarded, time_kernel(true));
+  }
+  const double ratio = bare / guarded;  // >1 when guarded is faster
+  EXPECT_GT(ratio, 0.9) << "null-guarded kernel lost more than 10% "
+                        << "events/s: bare " << bare << "s vs guarded "
+                        << guarded << "s";
 }
 
 // --- structured log ---

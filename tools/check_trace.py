@@ -11,10 +11,19 @@ Checks the invariants Perfetto / chrome://tracing rely on:
   * complete spans ("X") carry a non-negative "dur"
   * instants ("i") carry a scope "s"; async begin/end ("b"/"e") carry "id"
   * async begins and ends balance per (cat, id)
+  * flow events ("s"/"t"/"f") carry "id"; under --spans each flow id's
+    event sequence starts with "s", ends with "f" (binding point "e"),
+    and has only "t" steps in between
+
+Span-exemplar JSON (--exemplars FILE, repeatable) is validated for
+well-formedness: each exemplar has exactly one root span, every child
+lies within its parent's [start, end], parents precede children, and the
+phase ledger closes exactly — sum(phases_ns) == end_ns - arrival_ns.
 
 Usage:
   tools/check_trace.py TRACE.json [--probes PROBES.csv]
                        [--require-phase X --require-phase C ...]
+                       [--spans] [--exemplars EXEMPLARS.json ...]
 
 Exits 0 and prints a one-line summary per artifact on success; exits 1
 with a diagnostic on the first violation.
@@ -26,7 +35,12 @@ import csv
 import json
 import sys
 
-PHASES = {"X", "i", "C", "b", "e", "M"}
+PHASES = {"X", "i", "C", "b", "e", "M", "s", "t", "f"}
+SPAN_PHASE_NAMES = [
+    "admission", "backoff", "net", "hop",
+    "cpu_wait", "cpu", "disk_wait", "disk",
+]
+SPAN_OUTCOMES = {"completed", "shed", "timeout", "abandoned", "in_flight"}
 CATEGORIES = {
     "request", "dispatch", "cpu", "disk", "memory",
     "fault", "reservation", "probe", "log", "net", "ctrl",
@@ -50,7 +64,8 @@ def fail(message):
     sys.exit(1)
 
 
-def check_trace(path, required_phases, require_net=False, require_ctrl=False):
+def check_trace(path, required_phases, require_net=False, require_ctrl=False,
+                require_spans=False):
     try:
         with open(path, encoding="utf-8") as handle:
             doc = json.load(handle)
@@ -67,6 +82,7 @@ def check_trace(path, required_phases, require_net=False, require_ctrl=False):
     category_counts = collections.Counter()
     pids = set()
     async_depth = collections.Counter()
+    flows = collections.defaultdict(list)  # id -> [(ts, index, phase)]
     for index, event in enumerate(events):
         where = f"{path}: event {index}"
         if not isinstance(event, dict):
@@ -104,6 +120,37 @@ def check_trace(path, required_phases, require_net=False, require_ctrl=False):
             async_depth[key] += 1 if phase == "b" else -1
             if async_depth[key] < 0:
                 fail(f"{where} ({name}): async end before begin for {key}")
+        elif phase in ("s", "t", "f"):
+            if "id" not in event:
+                fail(f"{where} ({name}): flow event without id")
+            if phase == "f" and event.get("bp") != "e":
+                fail(f"{where} ({name}): flow finish without bp=e")
+            flows[event["id"]].append((ts, index, phase))
+
+    # Flow well-formedness: event index breaks ts ties (the sink emits in
+    # causal order), each flow starts with 's', ends with 'f', and every
+    # step in between is a 't'. A run truncated mid-request legitimately
+    # leaves flows without an 'f'; those are reported, not failed, unless
+    # --spans asked for the strict check.
+    open_flows = 0
+    for flow_id, events_for_id in flows.items():
+        events_for_id.sort()
+        seq = [phase for _, _, phase in events_for_id]
+        if seq[0] != "s":
+            fail(f"{path}: flow {flow_id}: starts with {seq[0]!r}, not 's'")
+        if seq.count("s") != 1:
+            fail(f"{path}: flow {flow_id}: {seq.count('s')} start events")
+        if seq.count("f") > 1:
+            fail(f"{path}: flow {flow_id}: {seq.count('f')} finish events")
+        if "f" in seq:
+            if seq[-1] != "f":
+                fail(f"{path}: flow {flow_id}: events after the finish")
+        else:
+            open_flows += 1
+            if require_spans:
+                fail(f"{path}: flow {flow_id}: no finish event")
+    if require_spans and not flows:
+        fail(f"{path}: no flow events (required by --spans)")
 
     for phase in required_phases:
         if phase_counts[phase] == 0:
@@ -118,7 +165,8 @@ def check_trace(path, required_phases, require_net=False, require_ctrl=False):
     summary = " ".join(
         f"{phase}={phase_counts[phase]}" for phase in sorted(phase_counts))
     print(f"check_trace: OK: {path}: {len(events)} events, "
-          f"{len(pids)} pids, {summary}, open_async={open_spans}")
+          f"{len(pids)} pids, {summary}, open_async={open_spans}, "
+          f"flows={len(flows)}, open_flows={open_flows}")
 
 
 def check_probes(path, require_net=False, require_ctrl=False):
@@ -159,6 +207,75 @@ def check_probes(path, require_net=False, require_ctrl=False):
           f"{len(metrics)} metric series")
 
 
+def check_exemplars(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"{path}: {error}")
+    if not isinstance(doc, dict) or "exemplars" not in doc:
+        fail(f'{path}: top level must be an object with "exemplars"')
+    k = doc.get("k")
+    if not isinstance(k, int) or k < 0:
+        fail(f"{path}: bad k {k!r}")
+    exemplars = doc["exemplars"]
+    if not isinstance(exemplars, list):
+        fail(f"{path}: exemplars must be an array")
+    last_stretch = {}  # class -> previous stretch (worst-first ordering)
+    for index, ex in enumerate(exemplars):
+        where = f"{path}: exemplar {index}"
+        for field in ("job", "class", "outcome", "attempts", "arrival_ns",
+                      "end_ns", "demand_ns", "stretch", "phases_ns", "spans"):
+            if field not in ex:
+                fail(f"{where}: missing {field!r}")
+        if ex["outcome"] not in SPAN_OUTCOMES:
+            fail(f"{where}: bad outcome {ex['outcome']!r}")
+        phases = ex["phases_ns"]
+        if sorted(phases) != sorted(SPAN_PHASE_NAMES):
+            fail(f"{where}: phase set {sorted(phases)} != ledger phases")
+        arrival, end = ex["arrival_ns"], ex["end_ns"]
+        if not all(isinstance(v, int) for v in
+                   [arrival, end, *phases.values()]):
+            fail(f"{where}: ledger fields must be integer nanoseconds")
+        if end < arrival:
+            fail(f"{where}: end {end} before arrival {arrival}")
+        # The ledger invariant, checked exactly in integers.
+        total = sum(phases.values())
+        if total != end - arrival:
+            fail(f"{where}: closure violated: sum(phases)={total} != "
+                 f"end-arrival={end - arrival}")
+        cls = ex["class"]
+        if cls in last_stretch and ex["stretch"] > last_stretch[cls] + 1e-12:
+            fail(f"{where}: stretch not worst-first within class {cls!r}")
+        last_stretch[cls] = ex["stretch"]
+        # Span-tree well-formedness: one root, parents precede children,
+        # children contained in their parent's interval.
+        spans = ex["spans"]
+        if not isinstance(spans, list) or not spans:
+            fail(f"{where}: empty span tree")
+        roots = 0
+        for sidx, span in enumerate(spans):
+            swhere = f"{where}: span {sidx}"
+            parent = span.get("parent")
+            start, send = span.get("start_ns"), span.get("end_ns")
+            if not isinstance(start, int) or not isinstance(send, int):
+                fail(f"{swhere}: non-integer bounds")
+            if send < start:
+                fail(f"{swhere}: end {send} before start {start}")
+            if parent == -1:
+                roots += 1
+                continue
+            if not isinstance(parent, int) or not 0 <= parent < sidx:
+                fail(f"{swhere}: parent {parent!r} does not precede it")
+            pspan = spans[parent]
+            if start < pspan["start_ns"] or send > pspan["end_ns"]:
+                fail(f"{swhere}: [{start}, {send}] outside parent "
+                     f"[{pspan['start_ns']}, {pspan['end_ns']}]")
+        if roots != 1:
+            fail(f"{where}: {roots} root spans (want exactly 1)")
+    print(f"check_trace: OK: {path}: {len(exemplars)} exemplars, k={k}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("trace", help="Chrome trace_event JSON file")
@@ -174,11 +291,20 @@ def main():
         "--ctrl", action="store_true",
         help="require ctrl-lane trace events (retunes, scale-ups/downs) "
              "and (with --probes) the ctrl_* probe metric series")
+    parser.add_argument(
+        "--spans", action="store_true",
+        help="require request flow events and fail on any flow left "
+             "without a finish (every request must reach a terminal)")
+    parser.add_argument(
+        "--exemplars", action="append", default=[], metavar="FILE",
+        help="span-exemplar JSON file to validate (repeatable)")
     options = parser.parse_args()
     check_trace(options.trace, options.require_phase, options.net,
-                options.ctrl)
+                options.ctrl, options.spans)
     if options.probes:
         check_probes(options.probes, options.net, options.ctrl)
+    for path in options.exemplars:
+        check_exemplars(path)
 
 
 if __name__ == "__main__":
