@@ -151,7 +151,7 @@ BENCHMARK(BM_EndToEndClusterRun);
 /// machines, RSRC dispatch) rather than trace synthesis.
 harness::ResultRow throughput_row(const std::string& id, int p,
                                   double lambda, double duration_s,
-                                  bool spans = false) {
+                                  bool spans = false, bool hedge = false) {
   core::ExperimentSpec spec;
   spec.profile = trace::ksu_profile();
   spec.p = p;
@@ -174,6 +174,7 @@ harness::ResultRow throughput_row(const std::string& id, int p,
   config.reservation.initial_a = analytic.a;
   config.initial_dynamic_demand_s = 1.0 / (spec.r * spec.mu_h);
   config.use_dispatch_feedback = spec.use_dispatch_feedback;
+  config.hedge.enabled = hedge;
   core::MsOptions ms_options;
   ms_options.rsrc_tolerance = spec.rsrc_tolerance;
 
@@ -258,6 +259,12 @@ void write_bench_json(const std::string& path) {
   // all-in cost of the request-causal span instrumentation.
   rows.push_back(throughput_row("ms-p8-l300-spans", 8, 300.0, 2.0,
                                 /*spans=*/true));
+  // Same replay with hedged dispatch armed on a healthy cluster: the gap
+  // to ms-p8-l300 is the cost of the hedge machinery itself (per-dispatch
+  // timer arming, trailing stretch quantiles, cancellation plumbing) when
+  // almost nothing is slow enough to actually hedge.
+  rows.push_back(throughput_row("ms-p8-l300-hedge", 8, 300.0, 2.0,
+                                /*spans=*/false, /*hedge=*/true));
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open " + path);
   harness::write_json(out, rows);

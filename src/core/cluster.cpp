@@ -15,6 +15,7 @@
 #include "obs/log.hpp"
 #include "overload/backoff.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 
 namespace wsched::core {
 
@@ -58,6 +59,10 @@ ClusterSim::ClusterSim(ClusterConfig config,
     if (config_.ctrl.autoscale && config_.ctrl.min_powered < 1)
       throw std::invalid_argument("cluster: ctrl min_powered must be >= 1");
   }
+  if (config_.hedge.enabled &&
+      (config_.hedge.delay_s < 0.0 || config_.hedge.min_delay_s < 0.0 ||
+       config_.hedge.delay_factor <= 0.0))
+    throw std::invalid_argument("cluster: invalid hedge config");
 }
 
 RunResult ClusterSim::run(const trace::Trace& trace) {
@@ -75,6 +80,8 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
   const bool net_on = config_.net.enabled;
   const bool ctrl_on = config_.ctrl.any();
   const bool ctrl_scaling = ctrl_on && config_.ctrl.autoscale;
+  const bool slow_on = config_.slow_health.enabled;
+  const bool hedges_on = config_.hedge.enabled;
   if (config_.max_events > 0 || config_.wall_budget_s > 0.0) {
     engine.set_guard(config_.max_events, config_.wall_budget_s);
     if (tracer != nullptr)
@@ -143,6 +150,19 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
   std::uint64_t* c_ctrl_scale_downs = ctrl_counter("ctrl.scale_downs");
   std::uint64_t* c_ctrl_migrations = ctrl_counter("ctrl.migrations");
   std::uint64_t* c_ctrl_retargets = ctrl_counter("ctrl.retargets");
+  // Gray-failure counters follow the same gating: absent unless the
+  // slow-health watchdog / hedged dispatch are on.
+  std::uint64_t* c_slow_degraded =
+      slow_on ? counter("slow_health.degraded") : nullptr;
+  std::uint64_t* c_slow_recovered =
+      slow_on ? counter("slow_health.recovered") : nullptr;
+  std::uint64_t* c_hedges_launched =
+      hedges_on ? counter("hedge.launched") : nullptr;
+  std::uint64_t* c_hedge_wins = hedges_on ? counter("hedge.wins") : nullptr;
+  std::uint64_t* c_hedge_cancelled =
+      hedges_on ? counter("hedge.cancelled") : nullptr;
+  std::uint64_t* c_hedges_skipped =
+      hedges_on ? counter("hedge.skipped") : nullptr;
 
   sim::NodeObsHooks node_hooks;
   node_hooks.trace = tracer;
@@ -246,6 +266,29 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     stale_view.emplace(config_.p);
   }
 
+  // --- latency-based gray-failure watchdog (absent when disabled: no
+  // EWMAs, no watchdog rounds, byte-identical to a build without it) ---
+  std::optional<fault::SlowHealthMonitor> slow_health;
+  if (slow_on) {
+    slow_health.emplace(config_.p, config_.slow_health);
+    slow_health->set_on_transition([&, tracer](int node,
+                                               fault::NodeHealth from,
+                                               fault::NodeHealth to) {
+      obs::bump(to == fault::NodeHealth::kDegraded ? c_slow_degraded
+                                                   : c_slow_recovered);
+      if (tracer != nullptr)
+        tracer->instant(obs::Category::kFault, "slow-health", node,
+                        obs::kLaneFault, engine.now(),
+                        {{"from", fault::to_string(from)},
+                         {"to", fault::to_string(to)},
+                         {"ewma", slow_health->ewma(node)}});
+      obs::logf(obs::LogLevel::kInfo, "slow-health",
+                "t=%.3fs node %d %s -> %s (stretch ewma %.2f)",
+                to_seconds(engine.now()), node, fault::to_string(from),
+                fault::to_string(to), slow_health->ewma(node));
+    });
+  }
+
   // --- fault-injection & failover layer (absent when disabled: the
   // default run takes the exact fault-free code path, draw for draw) ---
   const bool faults_on = config_.fault.enabled;
@@ -266,6 +309,13 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     injector.emplace(engine, node_ptrs, config_.fault, config_.m,
                      config_.seed);
     injector->set_trace(tracer);
+    // Fail-slow episodes with a network face ride the net model's per-node
+    // degradation (extra loss, latency factor); inert without src/net/.
+    if (net_on)
+      injector->set_on_net_degrade(
+          [&](int node, double extra_loss, double latency_factor) {
+            network->set_node_degradation(node, extra_loss, latency_factor);
+          });
     const auto note_promotion = [&, tracer, c_promotions](int promoted,
                                                           int replaced) {
       obs::bump(c_promotions);
@@ -293,6 +343,9 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
       // Roles follow *declared* state: promotion and the Theorem-1
       // re-sizing of theta'_2 happen at detection time, not crash time.
       if (to == fault::NodeHealth::kDead) {
+        // A dead node's latency history describes a machine that no
+        // longer exists; the watchdog forgets it.
+        if (slow_on) slow_health->on_node_down(node);
         const bool was_master = membership->is_master(node);
         const int promoted = membership->mark_dead(node);
         if (promoted >= 0) {
@@ -407,7 +460,16 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     if (config_.ctrl.use_estimated_w) view.ctrl_w = estimator->w_ref();
     if (ctrl_scaling) view.powered = &powered_state;
   }
+  if (slow_on) {
+    view.slow_health = &slow_health->all();
+    view.slow_scale = &slow_health->scale();
+    view.slow_exclude = config_.slow_health.exclude;
+  }
   view.decisions = config_.obs.decisions;
+  // The slow_penalty / hedged columns are opt-in so gray-off decision
+  // CSVs keep their exact (golden-hashed) bytes.
+  if (view.decisions != nullptr && (slow_on || hedges_on))
+    view.decisions->enable_gray_columns();
   view.reservation_rejections = counter("dispatch.reservation_rejections");
 
   MetricsCollector metrics(config_.warmup, config_.os.fork_overhead);
@@ -421,6 +483,68 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
   std::uint64_t completed_jobs = 0;
   RunResult result;
   result.submitted = trace.records.size();
+
+  // --- hedged dispatch (absent when disabled: no per-job state, no
+  // timers, no dedup claims — byte-identical to a build without it) ---
+  /// Per-request hedge bookkeeping, indexed by the dense job id. The
+  /// primary/hedge node fields track where each leg currently sits so the
+  /// winner can cancel the loser and the fire timer can exclude the
+  /// primary's node from the copy's candidate pool.
+  struct HedgeState {
+    bool armed = false;     ///< hedge timer scheduled for this request
+    bool launched = false;  ///< a copy was actually dispatched
+    int primary_node = -1;  ///< node the primary occupies (-1 = in flight)
+    int hedge_node = -1;    ///< node the copy occupies (-1 = none)
+  };
+  std::vector<HedgeState> hedge_state;
+  /// First settlement wins: claim(id) succeeds exactly once per request,
+  /// so a racing loser completion (finished before its cancellation
+  /// landed) is dropped here and never double-counted.
+  net::DedupFilter hedge_settled;
+  std::uint64_t hedges_launched = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t hedge_cancellations = 0;
+  std::uint64_t hedges_skipped = 0;
+  // Trailing per-class *stretch* p95 (sojourn normalized by the request's
+  // demand) driving the adaptive hedge delay. Normalizing is what keeps
+  // hedging from duplicating elephants: with heavy-tailed demands the
+  // largest jobs dominate any raw-latency tail even on a healthy cluster,
+  // and re-running them doubles real work. A stretch tail instead fires
+  // only when a request has waited far longer than *its own* size
+  // predicts — the signature of a limping or stalled server.
+  TrailingQuantile hedge_stretch_dyn(0.95);
+  TrailingQuantile hedge_stretch_stat(0.95);
+  if (hedges_on) {
+    hedge_state.assign(trace.records.size() + 1, HedgeState{});
+    hedge_stretch_dyn.set_min_samples(16);
+    hedge_stretch_stat.set_min_samples(16);
+  }
+  /// Records where a job landed (copies and primaries track separately).
+  const auto hedge_note_node = [&](const sim::Job& job, int node) {
+    if (!hedges_on) return;
+    HedgeState& hs = hedge_state[static_cast<std::size_t>(job.id)];
+    if (job.hedge)
+      hs.hedge_node = node;
+    else
+      hs.primary_node = node;
+  };
+  /// Fires one armed request's hedge copy; assigned with the other
+  /// dispatch lambdas below (it needs the routing view).
+  std::function<void(std::uint64_t)> hedge_fire;
+  /// Settles a request that left the system without completing (timeout,
+  /// shed for good, abandonment) and cancels its outstanding copy, so the
+  /// ledger `submitted == completed + timeouts + shed + abandoned` closes
+  /// exactly even when a copy is still in flight at terminal time.
+  const auto hedge_on_terminal = [&](std::uint64_t id) {
+    if (!hedges_on) return;
+    HedgeState& hs = hedge_state[static_cast<std::size_t>(id)];
+    if (!hs.armed || !hedge_settled.claim(id)) return;
+    if (hs.launched && hs.hedge_node >= 0 &&
+        node_ptrs[static_cast<std::size_t>(hs.hedge_node)]->cancel(id)) {
+      ++hedge_cancellations;
+      obs::bump(c_hedge_cancelled);
+    }
+  };
 
   // --- overload-control layer (absent when every knob sits at its
   // disabled default: the run is bit-identical to a build without it) ---
@@ -443,6 +567,7 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
         [&](bool degraded) { reservation.set_degraded(degraded); });
     // Abandonment is terminal: the request leaves the system here.
     overload->set_on_abandon([&](std::uint64_t id) {
+      hedge_on_terminal(id);
       if (spans != nullptr)
         spans->terminal(id, obs::SpanOutcome::kAbandoned, engine.now());
       if (flow != nullptr)
@@ -467,6 +592,30 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
   for (int i = 0; i < config_.p; ++i) {
     nodes[static_cast<std::size_t>(i)]->set_completion_callback(
         [&, i](const sim::Job& job, Time completion) {
+          if (hedges_on) {
+            HedgeState& hs = hedge_state[static_cast<std::size_t>(job.id)];
+            if (hs.armed) {
+              // First completion wins. A loser that finished before its
+              // cancellation landed (or after a terminal settle) fails the
+              // claim and is dropped without touching any counter.
+              if (!hedge_settled.claim(job.id)) return;
+              const int loser = job.hedge
+                                    ? hs.primary_node
+                                    : (hs.launched ? hs.hedge_node : -1);
+              if (job.hedge) {
+                ++hedge_wins;
+                obs::bump(c_hedge_wins);
+                if (spans != nullptr)
+                  spans->note(job.id, "hedge-win", completion, i);
+              }
+              if (loser >= 0 && loser != i &&
+                  node_ptrs[static_cast<std::size_t>(loser)]->cancel(
+                      job.id)) {
+                ++hedge_cancellations;
+                obs::bump(c_hedge_cancelled);
+              }
+            }
+          }
           // on_complete closes deadline tracking and feeds the breaker /
           // admission signals; false flags a completion racing an
           // already-counted abandonment, which must not be counted twice.
@@ -485,6 +634,19 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
             flow->flow(obs::Category::kRequest, 'f', "req", i,
                        obs::kLaneRequest, completion, job.id);
           metrics.record(job, completion);
+          // Stretch sample for the gray-failure watchdog: the node that
+          // served the request is charged its normalized latency.
+          if (slow_on)
+            slow_health->on_completion(i, completion - job.cluster_arrival,
+                                       job.request.service_demand);
+          // Every counted completion feeds the trailing stretch quantile
+          // the adaptive hedge-delay rule reads.
+          if (hedges_on)
+            (job.request.is_dynamic() ? hedge_stretch_dyn
+                                      : hedge_stretch_stat)
+                .add(static_cast<double>(completion - job.cluster_arrival) /
+                     static_cast<double>(
+                         std::max<Time>(job.request.service_demand, 1)));
           reservation.record_completion(job.request.is_dynamic(),
                                         completion - job.cluster_arrival);
           // Completed-job accounting for the online estimator: the OS
@@ -532,9 +694,13 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
   std::function<void(sim::Job, int)> net_dispatch;
   if (faults_on) {
     redispatch = [&](sim::Job job) {
+      // A settled request (its hedge copy won meanwhile) must not re-enter
+      // the system; copies themselves never fail over.
+      if (hedges_on && (job.hedge || hedge_settled.seen(job.id))) return;
       job.disrupted = true;
       ++job.attempts;
       if (static_cast<int>(job.attempts) > config_.fault.max_redispatch) {
+        hedge_on_terminal(job.id);
         if (overload_on) overload->forget(job.id);
         ++timeouts;
         obs::bump(c_timeouts);
@@ -579,8 +745,10 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
       if (!net_on) delay += config_.os.remote_cgi_latency;
       engine.schedule_after(delay, [&, job]() mutable {
         // The client may have abandoned the job during the backoff wait;
-        // it was already counted, just drop it here.
+        // it was already counted, just drop it here. Same for a request
+        // whose hedge copy settled it during the wait.
         if (overload_on && overload->consume_abandoned(job.id)) return;
+        if (hedges_on && hedge_settled.seen(job.id)) return;
         if (declared_healthy() == 0) {
           // Total outage at retry time: go around again (and eventually
           // time out at the cap).
@@ -615,11 +783,22 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
           overload->note_dispatch(decision.node);
           overload->note_on_node(job.id, decision.node);
         }
+        hedge_note_node(job, decision.node);
         target->submit(std::move(job));
       });
     };
     injector->set_on_crash([&](int node, std::vector<sim::Job> dropped) {
       for (sim::Job& job : dropped) {
+        if (hedges_on) {
+          HedgeState& hs = hedge_state[static_cast<std::size_t>(job.id)];
+          if (job.hedge) {
+            // A copy dies with its node; the primary still carries the
+            // request, so nothing re-dispatches and nothing is lost.
+            hs.hedge_node = -1;
+            continue;
+          }
+          hs.primary_node = -1;
+        }
         // Each stranded request is one failed dispatch for the breaker.
         if (overload_on) overload->note_dispatch_failure(node);
         redispatch(std::move(job));
@@ -634,10 +813,12 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
           /*on_deliver=*/
           [&, job, target_idx]() mutable {
             if (overload_on && overload->consume_abandoned(job.id)) return;
+            if (hedges_on && hedge_settled.seen(job.id)) return;
             sim::Node* target =
                 node_ptrs[static_cast<std::size_t>(target_idx)];
             if (target->alive()) {
               if (overload_on) overload->note_on_node(job.id, target_idx);
+              hedge_note_node(job, target_idx);
               target->submit(std::move(job));
             } else if (faults_on) {
               // Delivered to a node that died mid-flight: failover.
@@ -657,6 +838,7 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
           /*on_fail=*/
           [&, job, target_idx]() mutable {
             if (overload_on && overload->consume_abandoned(job.id)) return;
+            if (hedges_on && hedge_settled.seen(job.id)) return;
             if (overload_on) overload->note_dispatch_failure(target_idx);
             if (faults_on) {
               redispatch(std::move(job));
@@ -665,6 +847,7 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
             // No fault layer to retry through: the dispatch is lost on
             // the wire for good and counted as a timeout — never
             // silently dropped.
+            hedge_on_terminal(job.id);
             if (overload_on) overload->forget(job.id);
             ++timeouts;
             obs::bump(c_timeouts);
@@ -700,6 +883,22 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     injector->start();
   }
   if (overload_on) overload->start();
+
+  // Watchdog rounds ride the load-sampling cadence unless a dedicated
+  // period is configured — no new clock, no RNG, fully deterministic.
+  std::function<void()> slow_tick;
+  if (slow_on) {
+    const Time slow_period =
+        config_.slow_health.check_period_s > 0.0
+            ? from_seconds(config_.slow_health.check_period_s)
+            : config_.load_sample_period;
+    slow_tick = [&, slow_period] {
+      slow_health->check_now(node_ptrs);
+      if (remaining > 0)
+        engine.schedule_call_after(slow_period, &invoke_closure, &slow_tick);
+    };
+    engine.schedule_call_after(slow_period, &invoke_closure, &slow_tick);
+  }
 
   // In-band load reports: every node periodically reports its last
   // monitor sample to each (current) master over the control plane. The
@@ -915,6 +1114,38 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     if (!cache_hit && decision.rsrc_w >= 0.0 && was_dynamic)
       feedbacks[static_cast<std::size_t>(decision.receiver)].on_dispatch(
           static_cast<std::size_t>(decision.node), decision.rsrc_w);
+    // Arm the hedge timer on first admission (client retries and drain
+    // migrations re-enter here; the armed flag keeps one timer per job).
+    // Until the trailing window primes there is no trustworthy tail
+    // estimate, so early requests simply don't hedge.
+    if (hedges_on && !job.hedge && !cache_hit &&
+        (was_dynamic || config_.hedge.hedge_static)) {
+      HedgeState& hs = hedge_state[static_cast<std::size_t>(job.id)];
+      if (!hs.armed) {
+        Time delay = 0;
+        if (config_.hedge.delay_s > 0.0) {
+          delay = from_seconds(config_.hedge.delay_s);
+        } else {
+          const TrailingQuantile& q =
+              was_dynamic ? hedge_stretch_dyn : hedge_stretch_stat;
+          // Adaptive rule: this request is overdue once it has been on
+          // the cluster `delay_factor * p95-stretch` times its own
+          // demand. Scaling by the demand gives every request the same
+          // *relative* patience — elephants get hours, mice milliseconds.
+          if (q.primed())
+            delay = std::max(
+                from_seconds(config_.hedge.min_delay_s),
+                static_cast<Time>(config_.hedge.delay_factor * q.value() *
+                                  static_cast<double>(
+                                      job.request.service_demand)));
+        }
+        if (delay > 0) {
+          hs.armed = true;
+          const std::uint64_t hid = job.id;
+          engine.schedule_after(delay, [&, hid] { hedge_fire(hid); });
+        }
+      }
+    }
     sim::Node* target = node_ptrs[static_cast<std::size_t>(decision.node)];
     const int target_idx = decision.node;
     if (overload_on) overload->note_dispatch(target_idx);
@@ -928,15 +1159,18 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
         // The dispatch hop is a real message now: sampled latency, loss
         // surfacing as RPC retransmits, failover past the attempt cap.
         net_dispatch(std::move(job), target_idx);
-      } else if (faults_on || overload_on) {
+      } else if (faults_on || overload_on || hedges_on) {
         // The target may die during the dispatch hop (or already be dead
         // but undetected); the landing check routes the job into failover.
-        // The client may also abandon it mid-hop.
+        // The client may also abandon it mid-hop, or — with hedging on —
+        // the copy may have settled the request already.
         engine.schedule_after(
             config_.os.remote_cgi_latency, [&, target, target_idx, job] {
               if (overload_on && overload->consume_abandoned(job.id)) return;
+              if (hedges_on && hedge_settled.seen(job.id)) return;
               if (target->alive()) {
                 if (overload_on) overload->note_on_node(job.id, target_idx);
+                hedge_note_node(job, target_idx);
                 target->submit(job);
               } else if (ctrl_scaling) {
                 // Powered down mid-hop (faults excluded by construction):
@@ -987,9 +1221,85 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
       route_and_submit(std::move(job));
     } else {
       if (overload_on) overload->note_on_node(job.id, target_idx);
+      hedge_note_node(job, target_idx);
       target->submit(job);
     }
   };
+
+  // Hedge fire: re-dispatch a copy of a still-unsettled request to the
+  // next-best node, the primary's node excluded from the pick.
+  if (hedges_on) {
+    hedge_fire = [&](std::uint64_t id) {
+      if (hedge_settled.seen(id)) return;
+      HedgeState& hs = hedge_state[static_cast<std::size_t>(id)];
+      if (hs.launched) return;
+      if (hs.primary_node < 0) {
+        // The primary is mid-hop or mid-backoff: check again shortly (the
+        // terminal paths settle the id, so the re-check always ends).
+        const Time recheck = std::max<Time>(
+            from_seconds(config_.hedge.min_delay_s), kMillisecond);
+        engine.schedule_after(recheck, [&, id] { hedge_fire(id); });
+        return;
+      }
+      // Job ids are dense and assigned in trace order, so the original
+      // (pre-cache-demotion) record is recoverable by index.
+      const trace::TraceRecord& rec =
+          trace.records[static_cast<std::size_t>(id - 1)];
+      view.now = engine.now();
+      view.exclude_node = hs.primary_node;
+      view.hedge_route = true;
+      Decision decision = dispatcher_->route(rec, view);
+      view.exclude_node = -1;
+      view.hedge_route = false;
+      if (decision.node < 0 || decision.node >= config_.p)
+        throw std::out_of_range("dispatcher routed outside the cluster");
+      sim::Node* target = node_ptrs[static_cast<std::size_t>(decision.node)];
+      if (decision.node == hs.primary_node || !target->alive()) {
+        // No distinct healthy target to hedge to.
+        ++hedges_skipped;
+        obs::bump(c_hedges_skipped);
+        return;
+      }
+      hs.launched = true;
+      hs.hedge_node = decision.node;
+      ++hedges_launched;
+      obs::bump(c_hedges_launched);
+      if (tracer != nullptr)
+        tracer->instant(obs::Category::kDispatch, "hedge", cluster_pid,
+                        obs::kLaneDispatch, engine.now(),
+                        {{"job", id},
+                         {"node", decision.node},
+                         {"primary", hs.primary_node}});
+      if (spans != nullptr)
+        spans->note(id, "hedge", engine.now(), decision.node);
+      obs::logf(obs::LogLevel::kDebug, "hedge",
+                "t=%.3fs job %llu hedged to node %d (primary %d)",
+                to_seconds(engine.now()),
+                static_cast<unsigned long long>(id), decision.node,
+                hs.primary_node);
+      sim::Job copy;
+      copy.id = id;
+      copy.request = rec;
+      copy.cluster_arrival = rec.arrival;
+      copy.receiver = decision.receiver;
+      copy.remote = true;
+      copy.hedge = true;
+      // The copy charges the flat remote hop; if the target dies (or the
+      // request settles) before it lands, the copy just evaporates — the
+      // primary still carries the request.
+      engine.schedule_after(
+          config_.os.remote_cgi_latency,
+          [&, copy, node = decision.node]() mutable {
+            if (hedge_settled.seen(copy.id)) return;
+            sim::Node* t = node_ptrs[static_cast<std::size_t>(node)];
+            if (!t->alive()) {
+              hedge_state[static_cast<std::size_t>(copy.id)].hedge_node = -1;
+              return;
+            }
+            t->submit(std::move(copy));
+          });
+    };
+  }
 
   // Control tick: telemetry in, actions out, side effects executed here.
   // With the net model on the telemetry comes from the front-end master's
@@ -1075,8 +1385,18 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
                   "t=%.3fs scale-down: node %d drained (%zu jobs migrate, "
                   "now %d powered)",
                   to_seconds(now), victim, drained.size(), powered_count);
+        if (slow_on) slow_health->on_node_down(victim);
         // Drained jobs migrate over the remote-dispatch hop, never lost.
         for (sim::Job& job : drained) {
+          if (hedges_on) {
+            HedgeState& hs = hedge_state[static_cast<std::size_t>(job.id)];
+            if (job.hedge) {
+              // Copies don't migrate: the primary still carries the job.
+              hs.hedge_node = -1;
+              continue;
+            }
+            hs.primary_node = -1;
+          }
           ++ctrl_migrations;
           obs::bump(c_ctrl_migrations);
           if (spans != nullptr) {
@@ -1090,6 +1410,7 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
               config_.os.remote_cgi_latency, [&, moved]() mutable {
                 if (overload_on && overload->consume_abandoned(moved.id))
                   return;
+                if (hedges_on && hedge_settled.seen(moved.id)) return;
                 route_and_submit(std::move(moved));
               });
         }
@@ -1138,6 +1459,7 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
         view.decisions->record(std::move(record));
       }
       if (static_cast<int>(job.attempts) >= config_.overload.max_retries) {
+        hedge_on_terminal(job.id);
         overload->count_shed(job.id);
         obs::logf(obs::LogLevel::kDebug, "overload",
                   "t=%.3fs job %llu shed for good (%s, %u retries)",
@@ -1240,6 +1562,19 @@ RunResult ClusterSim::run(const trace::Trace& trace) {
     result.redispatches = redispatches;
     result.timeouts = timeouts;
     result.promotions = membership->promotions();
+    result.degrade_events = injector->degrade_events();
+    result.degraded_node_s = to_seconds(injector->degraded_until(end));
+  }
+  if (slow_on) {
+    result.slow_degraded = slow_health->degrade_transitions();
+    result.slow_recovered = slow_health->recover_transitions();
+  }
+  if (hedges_on) {
+    result.hedging_enabled = true;
+    result.hedges_launched = hedges_launched;
+    result.hedge_wins = hedge_wins;
+    result.hedge_cancellations = hedge_cancellations;
+    result.hedges_skipped = hedges_skipped;
   }
   if (net_on) {
     result.net_enabled = true;

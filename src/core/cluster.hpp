@@ -27,6 +27,29 @@
 
 namespace wsched::core {
 
+/// Hedged dispatch against tail latency (gray-failure defense). When a
+/// dynamic request is still unsettled after its hedge delay, a copy is
+/// dispatched to the next-best node (the primary's node excluded from the
+/// pick); the first completion wins and the loser is cancelled, freeing
+/// its queue/CPU/disk occupancy. Off by default — the disabled config
+/// constructs nothing and keeps every artifact byte-identical.
+struct HedgeConfig {
+  bool enabled = false;
+  /// Fixed hedge delay in seconds; 0 uses the adaptive rule:
+  /// delay = delay_factor * (trailing per-class p95 stretch) * demand,
+  /// i.e. a request is overdue once it has waited `delay_factor` times
+  /// the tail-normal multiple of its own service demand. Normalizing by
+  /// demand keeps hedging from duplicating intrinsically-large jobs.
+  double delay_s = 0.0;
+  double delay_factor = 1.0;
+  /// Floor under the adaptive delay (and the delay used until enough
+  /// completions have been observed to trust the trailing quantile).
+  double min_delay_s = 0.02;
+  /// Hedge static (file) requests too; default hedges only dynamic work,
+  /// where the paper's tail lives.
+  bool hedge_static = false;
+};
+
 struct ClusterConfig {
   int p = 32;  ///< nodes
   int m = 4;   ///< masters (nodes [0, m)); ignored by Flat
@@ -76,6 +99,14 @@ struct ClusterConfig {
   /// mutually exclusive (the health monitor would declare drained nodes
   /// dead and the injector would double-recover them).
   ctrl::CtrlConfig ctrl;
+  /// Latency-based gray-failure watchdog (see fault::SlowHealthConfig):
+  /// flags limping nodes kDegraded from completion-stretch outliers and
+  /// feeds the RSRC slowness penalty. Disabled by default — constructs
+  /// nothing, perturbs nothing.
+  fault::SlowHealthConfig slow_health;
+  /// Hedged dispatch with cancellation (see HedgeConfig). Disabled by
+  /// default.
+  HedgeConfig hedge;
   /// Optional tail-window start for MetricsSummary::stretch_tail
   /// (<= 0 disables); used to measure post-failover recovery.
   Time metrics_tail_start = 0;
@@ -139,6 +170,19 @@ struct RunResult {
   /// Completions inside their SLO per second of measured (post-warmup)
   /// simulated time — the headline graceful-degradation metric.
   double goodput_rps = 0.0;
+  /// Gray-failure statistics (defaults when fail-slow injection and the
+  /// slow-health watchdog are off).
+  std::uint64_t degrade_events = 0;   ///< fail-slow episodes opened
+  double degraded_node_s = 0.0;       ///< node-seconds spent limping
+  std::uint64_t slow_degraded = 0;    ///< watchdog kDegraded transitions
+  std::uint64_t slow_recovered = 0;   ///< watchdog recoveries
+  /// Hedged-dispatch statistics (defaults when hedging is off).
+  bool hedging_enabled = false;
+  std::uint64_t hedges_launched = 0;  ///< hedge copies dispatched
+  std::uint64_t hedge_wins = 0;       ///< requests settled by the copy
+  std::uint64_t hedge_cancellations = 0;  ///< losers cancelled mid-flight
+  std::uint64_t hedges_skipped = 0;   ///< armed hedges that found no
+                                      ///< distinct healthy target
   /// Control-plane statistics (defaults when the subsystem is off).
   bool ctrl_enabled = false;
   std::uint64_t ctrl_retunes = 0;     ///< reservation retune ticks applied

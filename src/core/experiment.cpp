@@ -114,6 +114,8 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   config.overload = spec.overload;
   config.net = spec.net;
   config.ctrl = spec.ctrl;
+  config.slow_health = spec.slow_health;
+  config.hedge = spec.hedge;
   if (spec.metrics_tail_start_s > 0.0)
     config.metrics_tail_start = from_seconds(spec.metrics_tail_start_s);
   config.node_params = spec.node_params;

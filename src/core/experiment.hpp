@@ -54,6 +54,12 @@ struct ExperimentSpec {
   /// autoscaling; disabled by default — see ctrl::CtrlConfig); passed
   /// through to the cluster unchanged.
   ctrl::CtrlConfig ctrl;
+  /// Latency-based gray-failure watchdog (disabled by default — see
+  /// fault::SlowHealthConfig); passed through to the cluster unchanged.
+  fault::SlowHealthConfig slow_health;
+  /// Hedged dispatch with cancellation (disabled by default — see
+  /// core::HedgeConfig); passed through to the cluster unchanged.
+  HedgeConfig hedge;
   /// Tail-window start (seconds) for MetricsSummary::stretch_tail;
   /// <= 0 disables. Used to measure post-failover recovery.
   double metrics_tail_start_s = 0.0;

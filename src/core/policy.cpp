@@ -46,7 +46,7 @@ void log_decision(ClusterView& view, const Decision& decision, bool dynamic,
                   const std::vector<int>* candidates = nullptr,
                   const LoadVec* load = nullptr,
                   const std::vector<sim::NodeParams>* speeds = nullptr,
-                  double stale_s = -1.0) {
+                  double stale_s = -1.0, double slow_penalty = -1.0) {
   if (view.decisions == nullptr) return;
   obs::DecisionRecord record;
   record.at = view.now;
@@ -57,6 +57,8 @@ void log_decision(ClusterView& view, const Decision& decision, bool dynamic,
   record.w = decision.rsrc_w;
   record.reason = reason;
   record.stale_s = stale_s;
+  record.slow_penalty = slow_penalty;
+  record.hedged = view.hedge_route;
   if (view.ctrl_active) {
     record.w_hat = view.ctrl_w != nullptr ? *view.ctrl_w : -1.0;
     record.theta_eff = view.reservation != nullptr
@@ -90,30 +92,44 @@ struct PickOutcome {
   std::size_t index = 0;
   const char* reason = nullptr;
   double stale_s = -1.0;
+  /// Slowness multiplier applied to the chosen node (negative when the
+  /// slow-health watchdog is off).
+  double slow = -1.0;
 };
 
-/// The shared dynamic-candidate pick. Without a stale view this is the
-/// plain near-tie min-RSRC scan on oracle load. With one, every
-/// candidate's cost is penalized by its report age; and when *everything*
-/// the receiver knows is older than stale_max_age_s, a full scan would
-/// just chase ghosts — the pick degrades to power-of-two-choices (two
-/// uniform probes, keep the cheaper), the classic remedy for stale
-/// information herding.
+/// The shared dynamic-candidate pick. Without a stale view or slowness
+/// scale this is the plain near-tie min-RSRC scan on oracle load. With a
+/// stale view, every candidate's cost is penalized by its report age; and
+/// when *everything* the receiver knows is older than stale_max_age_s, a
+/// full scan would just chase ghosts — the pick degrades to
+/// power-of-two-choices (two uniform probes, keep the cheaper), the
+/// classic remedy for stale information herding. The slow-health scale
+/// (1 + penalty on kDegraded nodes) composes multiplicatively with the
+/// staleness factor; with every node healthy it is all-ones, which leaves
+/// costs — and therefore the near-tie RNG draws — bit-identical to the
+/// plain pick.
 PickOutcome pick_candidate(ClusterView& view, int receiver, double w,
                            const std::vector<int>& candidates,
                            const LoadVec& seen,
                            const std::vector<sim::NodeParams>* speeds,
                            double tolerance) {
-  if (view.stale == nullptr)
+  const std::vector<double>* slow = view.slow_scale;
+  if (view.stale == nullptr && slow == nullptr)
     return {pick_min_rsrc(w, candidates, seen, speeds, *view.rng, tolerance),
-            nullptr, -1.0};
+            nullptr, -1.0, -1.0};
   static thread_local std::vector<double> scale;
   scale.clear();
-  bool all_over_age = view.stale_max_age_s > 0.0;
-  for (const int node : candidates) {
-    const double age = view.stale->age_s(receiver, node, view.now);
-    scale.push_back(1.0 + view.stale_penalty_per_s * age);
-    if (age <= view.stale_max_age_s) all_over_age = false;
+  bool all_over_age = view.stale != nullptr && view.stale_max_age_s > 0.0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const int node = candidates[i];
+    double s = 1.0;
+    if (view.stale != nullptr) {
+      const double age = view.stale->age_s(receiver, node, view.now);
+      s = 1.0 + view.stale_penalty_per_s * age;
+      if (age <= view.stale_max_age_s) all_over_age = false;
+    }
+    if (slow != nullptr) s *= (*slow)[static_cast<std::size_t>(node)];
+    scale.push_back(s);
   }
   const double* cpu = seen.cpu_idle_data();
   const double* disk = seen.disk_avail_data();
@@ -141,7 +157,12 @@ PickOutcome pick_candidate(ClusterView& view, int receiver, double w,
                          tolerance);
   }
   return {pick, reason,
-          view.stale->age_s(receiver, candidates[pick], view.now)};
+          view.stale != nullptr
+              ? view.stale->age_s(receiver, candidates[pick], view.now)
+              : -1.0,
+          slow != nullptr
+              ? (*slow)[static_cast<std::size_t>(candidates[pick])]
+              : -1.0};
 }
 
 class FlatDispatcher final : public Dispatcher {
@@ -279,7 +300,7 @@ class MsDispatcher final : public Dispatcher {
                  picked.reason != nullptr
                      ? picked.reason
                      : (masters_allowed ? "min-rsrc" : "min-rsrc-reserved"),
-                 &candidates_, &seen, speeds, picked.stale_s);
+                 &candidates_, &seen, speeds, picked.stale_s, picked.slow);
     return decision;
   }
 
@@ -367,7 +388,7 @@ class MsDispatcher final : public Dispatcher {
                  picked.reason != nullptr
                      ? picked.reason
                      : (masters_allowed ? "min-rsrc" : "min-rsrc-reserved"),
-                 &candidates_, &seen, speeds, picked.stale_s);
+                 &candidates_, &seen, speeds, picked.stale_s, picked.slow);
     return decision;
   }
 
@@ -423,7 +444,7 @@ class MsPrimeDispatcher final : public Dispatcher {
       log_decision(view, decision, true,
                    picked.reason != nullptr ? picked.reason
                                             : "min-rsrc-dedicated",
-                   &candidates_, &seen, nullptr, picked.stale_s);
+                   &candidates_, &seen, nullptr, picked.stale_s, picked.slow);
       return decision;
     }
     int receiver;
@@ -458,7 +479,7 @@ class MsPrimeDispatcher final : public Dispatcher {
     log_decision(view, decision, true,
                  picked.reason != nullptr ? picked.reason
                                           : "min-rsrc-dedicated",
-                 &candidates_, &seen, nullptr, picked.stale_s);
+                 &candidates_, &seen, nullptr, picked.stale_s, picked.slow);
     return decision;
   }
 

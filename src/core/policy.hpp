@@ -82,6 +82,24 @@ struct ClusterView {
   /// Counter bumped on every two-choices fallback; null = untracked.
   std::uint64_t* stale_fallbacks = nullptr;
 
+  // --- gray-failure defense (src/fault/health.*; all null/false when
+  //     slow-health and hedging are off) ---
+  /// Latency-watchdog states: kDegraded marks a limping node that still
+  /// answers heartbeats. Null when slow health is off.
+  const std::vector<fault::NodeHealth>* slow_health = nullptr;
+  /// Per-node RSRC slowness multipliers from the watchdog (1.0 healthy,
+  /// 1 + penalty degraded), composed multiplicatively with the staleness
+  /// scale. Null when slow health is off.
+  const std::vector<double>* slow_scale = nullptr;
+  /// Hard form: kDegraded nodes leave candidate pools entirely (through
+  /// the same node_healthy gate breakers use).
+  bool slow_exclude = false;
+  /// Hedged dispatch: the primary's node, excluded from the hedge copy's
+  /// candidate pool so the copy lands elsewhere. -1 outside hedge routing.
+  int exclude_node = -1;
+  /// True while routing a hedge copy; stamps the decision log.
+  bool hedge_route = false;
+
   // --- control plane (src/ctrl/; all null/false when ctrl is off —
   //     policies then keep the per-request sampled-w behavior) ---
   /// Live estimated RSRC weight from the online ParamEstimator; non-null
@@ -132,20 +150,27 @@ struct ClusterView {
   /// bank / fully-powered cluster yields the full range either way, so
   /// the RNG draw is unchanged when the gate first turns on.
   bool pool_gated() const {
-    return breakers != nullptr || powered != nullptr;
+    return breakers != nullptr || powered != nullptr ||
+           exclude_node >= 0 || (slow_exclude && slow_health != nullptr);
   }
 
   /// Declared-healthy check; always true without the failover layer. An
   /// open circuit breaker also fails it (and an open breaker past its
   /// cooldown transitions to half-open here, admitting one probe), as
-  /// does a powered-down node (autoscaler).
+  /// does a powered-down node (autoscaler), a latency-degraded node under
+  /// slow_exclude, and the hedge primary while routing a hedge copy.
   bool node_healthy(int node) const {
+    if (node == exclude_node) return false;
     if (powered != nullptr &&
         !(*powered)[static_cast<std::size_t>(node)])
       return false;
     if (health != nullptr &&
         (*health)[static_cast<std::size_t>(node)] !=
             fault::NodeHealth::kHealthy)
+      return false;
+    if (slow_exclude && slow_health != nullptr &&
+        (*slow_health)[static_cast<std::size_t>(node)] ==
+            fault::NodeHealth::kDegraded)
       return false;
     return breakers == nullptr || breakers->admits(node, now);
   }

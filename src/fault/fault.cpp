@@ -21,21 +21,49 @@ FaultInjector::FaultInjector(sim::Engine& engine,
       throw std::invalid_argument("fault script targets unknown node");
   if (config_.mttf_s < 0.0 || config_.mttr_s <= 0.0)
     throw std::invalid_argument("fault: need mttf >= 0 and mttr > 0");
+  if (config_.degrade_mttf_s < 0.0 || config_.degrade_mttr_s <= 0.0)
+    throw std::invalid_argument(
+        "fault: need degrade mttf >= 0 and degrade mttr > 0");
+  if (config_.degrade_cpu_factor <= 0.0 ||
+      config_.degrade_disk_factor <= 0.0 || config_.stall_factor <= 0.0)
+    throw std::invalid_argument("fault: degrade factors must be > 0");
+  if (config_.stall_period_s < 0.0 || config_.stall_len_s < 0.0)
+    throw std::invalid_argument("fault: stall timings must be >= 0");
+  if (config_.degrade_net_loss < 0.0 || config_.degrade_net_loss >= 1.0 ||
+      config_.degrade_net_latency_factor <= 0.0)
+    throw std::invalid_argument("fault: bad net degradation knobs");
   // Stream ids keyed by node id: adding consumers elsewhere never
-  // perturbs fault times, and vice versa.
+  // perturbs fault times, and vice versa. Fail-slow churn owns a second
+  // per-node family so crash times are independent of degrade times.
   streams_.reserve(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i)
     streams_.emplace_back(seed, 0xFA010000ULL + i);
+  if (config_.degrade_mttf_s > 0.0) {
+    degrade_streams_.reserve(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+      degrade_streams_.emplace_back(seed, 0xFA020000ULL + i);
+    degrade_open_.assign(nodes_.size(), 0);
+    degrade_epoch_.assign(nodes_.size(), 0);
+    degrade_since_.assign(nodes_.size(), 0);
+  }
 }
 
 void FaultInjector::start() {
   for (const FaultEvent& event : config_.script)
     engine_.schedule_at(event.at, [this, event] { apply(event); });
-  if (config_.mttf_s <= 0.0) return;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    const bool master = static_cast<int>(i) < initial_masters_;
-    if (master ? config_.fail_masters : config_.fail_slaves)
-      schedule_next_failure(static_cast<int>(i));
+  if (config_.mttf_s > 0.0) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const bool master = static_cast<int>(i) < initial_masters_;
+      if (master ? config_.fail_masters : config_.fail_slaves)
+        schedule_next_failure(static_cast<int>(i));
+    }
+  }
+  if (config_.degrade_mttf_s > 0.0) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const bool master = static_cast<int>(i) < initial_masters_;
+      if (master ? config_.fail_masters : config_.fail_slaves)
+        schedule_next_degrade(static_cast<int>(i));
+    }
   }
 }
 
@@ -106,6 +134,101 @@ void FaultInjector::schedule_next_failure(int node) {
     recover_node(node);
     schedule_next_failure(node);
   });
+}
+
+void FaultInjector::schedule_next_degrade(int node) {
+  Rng& rng = degrade_streams_[static_cast<std::size_t>(node)];
+  const Time ttd = from_seconds(rng.exponential(config_.degrade_mttf_s));
+  const Time tth = from_seconds(rng.exponential(config_.degrade_mttr_s));
+  engine_.schedule_after(ttd, [this, node, tth] {
+    begin_degrade(node, tth);
+  });
+}
+
+void FaultInjector::begin_degrade(int node, Time heal_after) {
+  const auto idx = static_cast<std::size_t>(node);
+  if (!nodes_[idx]->alive()) {
+    // The node is down; skip this episode but keep the churn going.
+    schedule_next_degrade(node);
+    return;
+  }
+  degrade_open_[idx] = 1;
+  degrade_since_[idx] = engine_.now();
+  ++degrade_events_;
+  const std::uint64_t episode = ++degrade_epoch_[idx];
+  nodes_[idx]->set_degradation(config_.degrade_cpu_factor,
+                               config_.degrade_disk_factor);
+  if (trace_ != nullptr)
+    trace_->instant(obs::Category::kFault, "degrade", node, obs::kLaneFault,
+                    engine_.now(),
+                    {{"cpu_factor", config_.degrade_cpu_factor},
+                     {"disk_factor", config_.degrade_disk_factor}});
+  obs::logf(obs::LogLevel::kInfo, "fault",
+            "t=%.3fs node %d fail-slow episode (cpu x%.2f, disk x%.2f)",
+            to_seconds(engine_.now()), node, config_.degrade_cpu_factor,
+            config_.degrade_disk_factor);
+  if (on_net_degrade_ && (config_.degrade_net_loss > 0.0 ||
+                          config_.degrade_net_latency_factor != 1.0))
+    on_net_degrade_(node, config_.degrade_net_loss,
+                    config_.degrade_net_latency_factor);
+  if (config_.stall_period_s > 0.0) schedule_stall(node, episode);
+  engine_.schedule_after(heal_after, [this, node, episode] {
+    end_degrade(node, episode);
+  });
+}
+
+void FaultInjector::end_degrade(int node, std::uint64_t episode) {
+  const auto idx = static_cast<std::size_t>(node);
+  if (degrade_epoch_[idx] != episode || degrade_open_[idx] == 0) return;
+  degrade_open_[idx] = 0;
+  degraded_time_ += engine_.now() - degrade_since_[idx];
+  // Bump the epoch so a stall event still in flight cannot re-limp the
+  // healed node.
+  ++degrade_epoch_[idx];
+  nodes_[idx]->set_degradation(1.0, 1.0);
+  if (trace_ != nullptr)
+    trace_->instant(obs::Category::kFault, "heal", node, obs::kLaneFault,
+                    engine_.now());
+  obs::logf(obs::LogLevel::kInfo, "fault",
+            "t=%.3fs node %d fail-slow episode healed",
+            to_seconds(engine_.now()), node);
+  if (on_net_degrade_ && (config_.degrade_net_loss > 0.0 ||
+                          config_.degrade_net_latency_factor != 1.0))
+    on_net_degrade_(node, 0.0, 1.0);
+  schedule_next_degrade(node);
+}
+
+void FaultInjector::schedule_stall(int node, std::uint64_t episode) {
+  const auto idx = static_cast<std::size_t>(node);
+  Rng& rng = degrade_streams_[idx];
+  const Time gap = from_seconds(rng.exponential(config_.stall_period_s));
+  const Time len = from_seconds(config_.stall_len_s);
+  engine_.schedule_after(gap, [this, node, episode, len] {
+    const auto i = static_cast<std::size_t>(node);
+    if (degrade_epoch_[i] != episode) return;  // episode closed
+    if (nodes_[i]->alive()) {
+      nodes_[i]->set_degradation(config_.stall_factor, config_.stall_factor);
+      if (trace_ != nullptr)
+        trace_->instant(obs::Category::kFault, "stall", node,
+                        obs::kLaneFault, engine_.now(),
+                        {{"factor", config_.stall_factor}});
+    }
+    engine_.schedule_after(len, [this, node, episode] {
+      const auto j = static_cast<std::size_t>(node);
+      if (degrade_epoch_[j] != episode) return;
+      if (nodes_[j]->alive())
+        nodes_[j]->set_degradation(config_.degrade_cpu_factor,
+                                   config_.degrade_disk_factor);
+      schedule_stall(node, episode);
+    });
+  });
+}
+
+Time FaultInjector::degraded_until(Time now) const {
+  Time total = degraded_time_;
+  for (std::size_t i = 0; i < degrade_open_.size(); ++i)
+    if (degrade_open_[i] != 0) total += now - degrade_since_[i];
+  return total;
 }
 
 Time FaultInjector::downtime_until(Time now) const {

@@ -82,6 +82,31 @@ struct FaultConfig {
   /// away: `overload::BackoffConfig::linear(50 * kMillisecond)`.
   int max_redispatch = 4;
   overload::BackoffConfig redispatch_backoff;
+
+  /// Fail-slow churn: per-node exponential time-to-degrade / time-to-heal
+  /// in seconds; degrade_mttf_s == 0 disables it. While an episode is
+  /// open the node limps at the factors below (gray failure: it still
+  /// answers heartbeats). Each node draws from its own dedicated degrade
+  /// stream — independent of its crash stream — so enabling fail-slow
+  /// never perturbs crash times and vice versa.
+  double degrade_mttf_s = 0.0;
+  double degrade_mttr_s = 2.0;
+  double degrade_cpu_factor = 0.25;
+  double degrade_disk_factor = 0.5;
+
+  /// Intermittent stall bursts *within* an open degrade episode: every
+  /// `stall_period_s` (exponential) the limping node freezes almost
+  /// completely (speed x stall_factor) for `stall_len_s` seconds, then
+  /// returns to the limping factors. 0 disables stalls.
+  double stall_period_s = 0.0;
+  double stall_len_s = 0.02;
+  double stall_factor = 0.02;
+
+  /// Network-facing degradation riding src/net/ while an episode is open:
+  /// extra per-message loss on the node's links and a multiplicative
+  /// latency factor. Inert unless the net model is enabled.
+  double degrade_net_loss = 0.0;
+  double degrade_net_latency_factor = 1.0;
 };
 
 class FaultInjector {
@@ -96,8 +121,17 @@ class FaultInjector {
                 const FaultConfig& config, int initial_masters,
                 std::uint64_t seed);
 
+  /// Fires when a fail-slow episode opens (loss/factor = the degraded
+  /// values) and again when it heals (0.0 / 1.0); the cluster forwards it
+  /// to the net layer. Never fires unless degrade churn is configured.
+  using NetDegradeFn =
+      std::function<void(int node, double extra_loss, double latency_factor)>;
+
   void set_on_crash(CrashFn fn) { on_crash_ = std::move(fn); }
   void set_on_recover(RecoverFn fn) { on_recover_ = std::move(fn); }
+  void set_on_net_degrade(NetDegradeFn fn) {
+    on_net_degrade_ = std::move(fn);
+  }
 
   /// Attaches an event tracer (null = off); fault instants land on the
   /// affected node's fault lane.
@@ -111,6 +145,16 @@ class FaultInjector {
   int down_count() const { return down_count_; }
   bool any_down() const { return down_count_ > 0; }
 
+  /// Fail-slow ledger: episodes opened, and node-seconds spent degraded
+  /// (open episodes closed at `now`).
+  std::uint64_t degrade_events() const { return degrade_events_; }
+  Time degraded_until(Time now) const;
+  bool degraded(int node) const {
+    return degrade_open_.empty() ? false
+                                 : degrade_open_[static_cast<std::size_t>(
+                                       node)];
+  }
+
   /// Total node-downtime accumulated up to `now` (open outage intervals
   /// are closed at `now`).
   Time downtime_until(Time now) const;
@@ -122,18 +166,30 @@ class FaultInjector {
   void crash_node(int node);
   void recover_node(int node);
   void schedule_next_failure(int node);
+  void schedule_next_degrade(int node);
+  void begin_degrade(int node, Time heal_after);
+  void end_degrade(int node, std::uint64_t episode);
+  void schedule_stall(int node, std::uint64_t episode);
 
   sim::Engine& engine_;
   std::vector<sim::Node*> nodes_;
   FaultConfig config_;
   int initial_masters_;
-  std::vector<Rng> streams_;   ///< one stochastic stream per node
+  std::vector<Rng> streams_;   ///< one stochastic crash stream per node
+  std::vector<Rng> degrade_streams_;  ///< one fail-slow stream per node
   std::vector<Time> down_since_;
+  // Fail-slow episode state (allocated only when degrade churn is on).
+  std::vector<std::uint8_t> degrade_open_;
+  std::vector<std::uint64_t> degrade_epoch_;  ///< stale-event cancellation
+  std::vector<Time> degrade_since_;
+  Time degraded_time_ = 0;
+  std::uint64_t degrade_events_ = 0;
   Time downtime_ = 0;
   int down_count_ = 0;
   std::uint64_t crashes_ = 0;
   CrashFn on_crash_;
   RecoverFn on_recover_;
+  NetDegradeFn on_net_degrade_;
   obs::TraceSink* trace_ = nullptr;
 };
 

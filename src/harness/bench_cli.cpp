@@ -93,6 +93,53 @@ BenchCli::BenchCli(int argc, const char* const* argv)
       args.has("ctrl-down") || args.has("ctrl-dwell") ||
       args.has("ctrl-min-nodes") || args.has("ctrl-masters");
   ctrl_set = ctrl.enabled;
+  gray.degrade_mttf_s = args.get_double("gray-mttf", gray.degrade_mttf_s);
+  gray.degrade_mttr_s = args.get_double("gray-mttr", gray.degrade_mttr_s);
+  gray.degrade_cpu_factor =
+      args.get_double("gray-cpu", gray.degrade_cpu_factor);
+  gray.degrade_disk_factor =
+      args.get_double("gray-disk", gray.degrade_disk_factor);
+  gray.stall_period_s =
+      args.get_double("gray-stall-period", gray.stall_period_s);
+  gray.stall_len_s = args.get_double("gray-stall-len", gray.stall_len_s);
+  gray.stall_factor = args.get_double("gray-stall-factor", gray.stall_factor);
+  gray.degrade_net_loss =
+      args.get_double("gray-net-loss", gray.degrade_net_loss);
+  gray.degrade_net_latency_factor =
+      args.get_double("gray-net-latency", gray.degrade_net_latency_factor);
+  gray_set = args.has("gray-mttf") || args.has("gray-mttr") ||
+             args.has("gray-cpu") || args.has("gray-disk") ||
+             args.has("gray-stall-period") || args.has("gray-stall-len") ||
+             args.has("gray-stall-factor") || args.has("gray-net-loss") ||
+             args.has("gray-net-latency");
+  gray.enabled = gray_set;
+  slow_health.alpha = args.get_double("slow-health-alpha", slow_health.alpha);
+  slow_health.degrade_ratio =
+      args.get_double("slow-health-degrade", slow_health.degrade_ratio);
+  slow_health.recover_ratio =
+      args.get_double("slow-health-recover", slow_health.recover_ratio);
+  slow_health.min_samples = static_cast<int>(
+      args.get_int("slow-health-min-samples", slow_health.min_samples));
+  slow_health.penalty =
+      args.get_double("slow-health-penalty", slow_health.penalty);
+  slow_health.exclude = args.get_bool("slow-health-exclude", false);
+  slow_health.check_period_s =
+      args.get_double("slow-health-period", slow_health.check_period_s);
+  slow_health.enabled =
+      args.get_bool("slow-health", false) || args.has("slow-health-alpha") ||
+      args.has("slow-health-degrade") || args.has("slow-health-recover") ||
+      args.has("slow-health-min-samples") ||
+      args.has("slow-health-penalty") || args.has("slow-health-exclude") ||
+      args.has("slow-health-period");
+  slow_health_set = slow_health.enabled;
+  hedge.delay_s = args.get_double("hedge-delay", hedge.delay_s);
+  hedge.delay_factor = args.get_double("hedge-factor", hedge.delay_factor);
+  hedge.min_delay_s = args.get_double("hedge-min-delay", hedge.min_delay_s);
+  hedge.hedge_static = args.get_bool("hedge-static", false);
+  hedge.enabled = args.get_bool("hedge", false) || args.has("hedge-delay") ||
+                  args.has("hedge-factor") || args.has("hedge-min-delay") ||
+                  args.has("hedge-static");
+  hedge_set = hedge.enabled;
 }
 
 namespace {
@@ -148,7 +195,8 @@ std::optional<SweepRun> run_bench(const SweepSpec& spec, const BenchCli& cli,
   // With several points, file paths are suffixed by grid index so parallel
   // evaluation never interleaves writers.
   EvalFn wrapped = eval;
-  if (cli.obs.any() || cli.overload_set || cli.net_set || cli.ctrl_set) {
+  if (cli.obs.any() || cli.overload_set || cli.net_set || cli.ctrl_set ||
+      cli.gray_set || cli.slow_health_set || cli.hedge_set) {
     std::size_t filtered = 0;
     for (const GridPoint& point : expand(spec))
       if (matches_filters(point.id, cli.options.filters)) ++filtered;
@@ -160,6 +208,24 @@ std::optional<SweepRun> run_bench(const SweepSpec& spec, const BenchCli& cli,
       if (cli.overload_set) traced.spec.overload = cli.overload;
       if (cli.net_set) traced.spec.net = cli.net;
       if (cli.ctrl_set) traced.spec.ctrl = cli.ctrl;
+      if (cli.gray_set) {
+        // Merge (don't clobber): a bench's own scripted crashes survive,
+        // only the fail-slow churn fields come from the CLI.
+        fault::FaultConfig& fault = traced.spec.fault;
+        fault.enabled = true;
+        fault.degrade_mttf_s = cli.gray.degrade_mttf_s;
+        fault.degrade_mttr_s = cli.gray.degrade_mttr_s;
+        fault.degrade_cpu_factor = cli.gray.degrade_cpu_factor;
+        fault.degrade_disk_factor = cli.gray.degrade_disk_factor;
+        fault.stall_period_s = cli.gray.stall_period_s;
+        fault.stall_len_s = cli.gray.stall_len_s;
+        fault.stall_factor = cli.gray.stall_factor;
+        fault.degrade_net_loss = cli.gray.degrade_net_loss;
+        fault.degrade_net_latency_factor =
+            cli.gray.degrade_net_latency_factor;
+      }
+      if (cli.slow_health_set) traced.spec.slow_health = cli.slow_health;
+      if (cli.hedge_set) traced.spec.hedge = cli.hedge;
       return eval(traced);
     };
   }

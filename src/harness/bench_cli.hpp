@@ -76,6 +76,41 @@
 //   --ctrl-masters       continuous master-count retargeting (Theorem 1 on
 //                        the estimated workload)
 //
+// Gray-failure knobs (any --gray-* flag enables the fault layer and merges
+// fail-slow churn into every evaluated point's FaultConfig; scripted
+// crashes a bench sets itself are preserved):
+//
+//   --gray-mttf S        per-node mean time to a fail-slow episode
+//   --gray-mttr S        mean episode length
+//   --gray-cpu F         limping CPU speed factor (0.25 = 4x slower)
+//   --gray-disk F        limping disk speed factor
+//   --gray-stall-period S  mean gap between stall bursts inside an episode
+//   --gray-stall-len S     stall burst length
+//   --gray-stall-factor F  speed factor during a stall
+//   --gray-net-loss P      extra per-message loss while limping (needs a
+//                          --net-* flag to matter)
+//   --gray-net-latency F   latency multiplier while limping
+//
+// Slow-health knobs (any one present arms the latency watchdog):
+//
+//   --slow-health              enable with defaults
+//   --slow-health-alpha A      stretch EWMA weight
+//   --slow-health-degrade R    degrade when EWMA > R x median
+//   --slow-health-recover R    recover when EWMA < R x median
+//   --slow-health-min-samples N  completions before an EWMA is trusted
+//   --slow-health-penalty X    RSRC slowness penalty (cost x (1 + X))
+//   --slow-health-exclude      drop kDegraded nodes from candidate pools
+//   --slow-health-period S     watchdog period (0 rides load sampling)
+//
+// Hedging knobs (any one present arms hedged dispatch):
+//
+//   --hedge               enable with the adaptive trailing-p95 delay
+//   --hedge-delay S       fixed hedge delay (0 keeps the adaptive rule)
+//   --hedge-factor X      adaptive delay = max(min, X * p95 stretch
+//                         * the request's own demand)
+//   --hedge-min-delay S   floor under the adaptive delay
+//   --hedge-static        hedge static (file) requests too
+//
 // Bench-specific flags stay available through `args`.
 #pragma once
 
@@ -83,7 +118,10 @@
 #include <optional>
 #include <string>
 
+#include "core/cluster.hpp"
 #include "ctrl/controller.hpp"
+#include "fault/fault.hpp"
+#include "fault/health.hpp"
 #include "harness/sweep.hpp"
 #include "net/network.hpp"
 #include "obs/observer.hpp"
@@ -117,6 +155,19 @@ struct BenchCli {
   /// evaluated point when `ctrl_set` (any of those flags present).
   ctrl::CtrlConfig ctrl;
   bool ctrl_set = false;
+  /// Fail-slow churn request from the --gray-* flags. When `gray_set`,
+  /// run_bench merges the degrade fields into each point's FaultConfig
+  /// (and enables the fault layer) without clobbering scripted crashes.
+  fault::FaultConfig gray;
+  bool gray_set = false;
+  /// Latency-watchdog request from the --slow-health-* flags; applied to
+  /// every evaluated point when `slow_health_set`.
+  fault::SlowHealthConfig slow_health;
+  bool slow_health_set = false;
+  /// Hedged-dispatch request from the --hedge-* flags; applied to every
+  /// evaluated point when `hedge_set`.
+  core::HedgeConfig hedge;
+  bool hedge_set = false;
 };
 
 /// Artifact path stem for one sweep under --out (empty when --out unset).

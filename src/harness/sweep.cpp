@@ -253,6 +253,27 @@ void append_ctrl_metrics(ResultRow& row,
       .set("powered_min", r.powered_min);
 }
 
+void append_gray_metrics(ResultRow& row,
+                         const core::ExperimentResult& result) {
+  const core::RunResult& r = result.run;
+  row.set("submitted", static_cast<unsigned long long>(r.submitted))
+      .set("completed_total", static_cast<unsigned long long>(r.completed))
+      .set("degrade_events",
+           static_cast<unsigned long long>(r.degrade_events))
+      .set("degraded_node_s", r.degraded_node_s)
+      .set("slow_degraded",
+           static_cast<unsigned long long>(r.slow_degraded))
+      .set("slow_recovered",
+           static_cast<unsigned long long>(r.slow_recovered))
+      .set("hedges_launched",
+           static_cast<unsigned long long>(r.hedges_launched))
+      .set("hedge_wins", static_cast<unsigned long long>(r.hedge_wins))
+      .set("hedge_cancellations",
+           static_cast<unsigned long long>(r.hedge_cancellations))
+      .set("hedges_skipped",
+           static_cast<unsigned long long>(r.hedges_skipped));
+}
+
 void append_span_metrics(ResultRow& row,
                         const core::ExperimentResult& result) {
   const obs::SpanSummary& s = result.spans;

@@ -160,6 +160,15 @@ void append_net_metrics(ResultRow& row, const core::ExperimentResult& result);
 void append_ctrl_metrics(ResultRow& row,
                          const core::ExperimentResult& result);
 
+/// Appends the gray-failure statistics (fail-slow episodes and limping
+/// node-seconds, watchdog degrade/recover transitions, hedge launches /
+/// wins / cancellations / skips) plus the submitted/completed pair the
+/// ledger-closure check needs. Same byte-identity rationale as
+/// append_net_metrics: gray-aware benches call both this and
+/// append_metrics, the established schema never changes.
+void append_gray_metrics(ResultRow& row,
+                         const core::ExperimentResult& result);
+
 /// Appends the span latency decomposition: per-class terminated-request
 /// counts, mean sojourn, mean seconds in each of the eight ledger phases
 /// (span_<class>_<phase>_s) and the closure self-check. experiment_row

@@ -35,8 +35,12 @@ void DecisionLog::write_csv(std::ostream& out) const {
         .set("reason", record.reason)
         .set("stale_s", record.stale_s)
         .set("w_hat", record.w_hat)
-        .set("theta_eff", record.theta_eff)
-        .set("candidates", candidates_of(record));
+        .set("theta_eff", record.theta_eff);
+    if (gray_) {
+      row.set("slow_penalty", record.slow_penalty)
+          .set_bool("hedged", record.hedged);
+    }
+    row.set("candidates", candidates_of(record));
     rows.push_back(std::move(row));
   }
   harness::write_csv(out, rows);

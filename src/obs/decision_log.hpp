@@ -44,6 +44,13 @@ struct DecisionRecord {
   /// (the columns still serialize, so the schema is stable).
   double w_hat = -1.0;
   double theta_eff = -1.0;
+  /// Gray-failure defense: the slow-health multiplier applied to the
+  /// chosen node (negative when the watchdog is off or the decision was
+  /// not RSRC-based), and whether this decision routed a hedge copy.
+  /// Serialized only when enable_gray_columns() was called, keeping the
+  /// legacy column schema — and every pinned artifact — byte-stable.
+  double slow_penalty = -1.0;
+  bool hedged = false;
   /// Span into the log's shared candidate pool (count == 0 when the
   /// decision had no scored candidate set). Scores are kept as raw
   /// (node, cost) pairs on the hot path; the "node:score|..." string is
@@ -87,15 +94,22 @@ class DecisionLog {
     pool_.clear();
   }
 
+  /// Opts in to the slow_penalty / hedged columns (between theta_eff and
+  /// candidates). The cluster calls this when slow health or hedging is
+  /// on; legacy runs keep the exact legacy header.
+  void enable_gray_columns() { gray_ = true; }
+  bool gray_columns() const { return gray_; }
+
   /// Canonical CSV (via the harness artifact writers): one row per record
   /// with columns seq, t_s, class, receiver, chosen, remote, w, reason,
-  /// stale_s, w_hat, theta_eff, candidates.
+  /// stale_s, w_hat, theta_eff, [slow_penalty, hedged,] candidates.
   void write_csv(std::ostream& out) const;
   void write_csv_file(const std::string& path) const;
 
  private:
   std::vector<DecisionRecord> records_;
   std::vector<ScoredCandidate> pool_;
+  bool gray_ = false;
 };
 
 }  // namespace wsched::obs

@@ -7,6 +7,18 @@
 
 namespace wsched::sim {
 
+namespace {
+
+/// Trace async-event name for one request. Hedge copies get their own
+/// names so a copy's begin/end never pairs with the primary's events
+/// (both carry the same request id).
+const char* req_name(const Job& job) {
+  if (job.hedge) return job.request.is_dynamic() ? "cgi-hedge" : "file-hedge";
+  return job.request.is_dynamic() ? "cgi" : "file";
+}
+
+}  // namespace
+
 Node::Node(Engine& engine, const OsParams& os, NodeParams params, int id)
     : engine_(engine),
       os_(os),
@@ -48,7 +60,7 @@ void Node::submit(Job job) {
   Process* proc = acquire_process();
   proc->job = std::move(job);
   proc->node_arrival = engine_.now();
-  if (obs_.spans != nullptr)
+  if (obs_.spans != nullptr && !proc->job.hedge)
     obs_.spans->begin_visit(proc->job.id, engine_.now(), id_);
 
   const trace::TraceRecord& req = proc->job.request;
@@ -62,7 +74,7 @@ void Node::submit(Job job) {
   }
   if (obs_.trace != nullptr) {
     obs_.trace->async_begin(
-        obs::Category::kRequest, req.is_dynamic() ? "cgi" : "file", id_,
+        obs::Category::kRequest, req_name(proc->job), id_,
         proc->job.id, engine_.now(),
         {{"job", proc->job.id},
          {"demand_s", to_seconds(req.service_demand)},
@@ -74,7 +86,7 @@ void Node::submit(Job job) {
   const MemoryManager::Allocation alloc =
       memory_.allocate(req.mem_pages, req.service_demand);
   proc->granted_pages = alloc.granted;
-  if (alloc.paging_io > 0 && obs_.spans != nullptr)
+  if (alloc.paging_io > 0 && obs_.spans != nullptr && !proc->job.hedge)
     obs_.spans->note(proc->job.id, "paging", engine_.now(), alloc.paging_io);
   if (alloc.paging_io > 0) {
     const Time per_cycle =
@@ -110,7 +122,7 @@ void Node::route(Process* proc) {
 }
 
 void Node::enter_ready(Process* proc) {
-  if (obs_.spans != nullptr)
+  if (obs_.spans != nullptr && !proc->job.hedge)
     obs_.spans->cpu_wait(proc->job.id, engine_.now());
   cpu_sched_.enqueue(proc);
   if (running_ != nullptr && cpu_sched_.preempts(*proc, *running_))
@@ -141,7 +153,8 @@ void Node::preempt_running() {
                      {{"job", proc->job.id}, {"preempted", 1}});
   running_ = nullptr;
   ++cpu_epoch_;  // cancel the scheduled slice-end event
-  if (obs_.spans != nullptr) obs_.spans->cpu_wait(proc->job.id, now);
+  if (obs_.spans != nullptr && !proc->job.hedge)
+    obs_.spans->cpu_wait(proc->job.id, now);
   cpu_sched_.enqueue(proc);
 }
 
@@ -162,7 +175,8 @@ void Node::try_dispatch() {
   // The CPU phase is marked at the slice start — the switch itself
   // charges to cpu_wait. A preemption or abort landing inside the switch
   // window clamps against the future mark (see SpanRecorder).
-  if (obs_.spans != nullptr) obs_.spans->cpu_run(proc->job.id, slice_start_);
+  if (obs_.spans != nullptr && !proc->job.hedge)
+    obs_.spans->cpu_run(proc->job.id, slice_start_);
   const std::uint64_t token = ++cpu_epoch_;
   engine_.schedule_cpu_slice_end(slice_start_ + cpu_wall(slice_work_), this,
                                  token);
@@ -186,7 +200,7 @@ void Node::on_cpu_slice_end(std::uint64_t token) {
 
   if (proc->cpu_left > 0) {
     // Quantum expiry: back of the (re-derived) priority level.
-    if (obs_.spans != nullptr)
+    if (obs_.spans != nullptr && !proc->job.hedge)
       obs_.spans->cpu_wait(proc->job.id, engine_.now());
     cpu_sched_.enqueue(proc);
   } else if (proc->io_left > 0) {
@@ -198,7 +212,7 @@ void Node::on_cpu_slice_end(std::uint64_t token) {
 }
 
 void Node::enter_disk(Process* proc) {
-  if (obs_.spans != nullptr)
+  if (obs_.spans != nullptr && !proc->job.hedge)
     obs_.spans->disk_wait(proc->job.id, engine_.now());
   disk_sched_.enqueue(proc);
   try_disk();
@@ -211,7 +225,7 @@ void Node::try_disk() {
   disk_active_ = proc;
   disk_slice_start_ = engine_.now();
   disk_slice_work_ = disk_sched_.slice_for(*proc);
-  if (obs_.spans != nullptr)
+  if (obs_.spans != nullptr && !proc->job.hedge)
     obs_.spans->disk_run(proc->job.id, disk_slice_start_);
   const std::uint64_t token = disk_epoch_;
   engine_.schedule_disk_slice_end(
@@ -233,7 +247,7 @@ void Node::on_disk_slice_end(std::uint64_t token) {
   disk_active_ = nullptr;
 
   if (proc->io_left > 0) {
-    if (obs_.spans != nullptr)
+    if (obs_.spans != nullptr && !proc->job.hedge)
       obs_.spans->disk_wait(proc->job.id, engine_.now());
     disk_sched_.enqueue(proc);  // round-robin: back of the ring
   } else {
@@ -269,8 +283,7 @@ void Node::complete(Process* proc) {
 
   if (obs_.trace != nullptr)
     obs_.trace->async_end(
-        obs::Category::kRequest,
-        job.request.is_dynamic() ? "cgi" : "file", id_, job.id,
+        obs::Category::kRequest, req_name(job), id_, job.id,
         engine_.now(),
         {{"response_s", to_seconds(engine_.now() - job.cluster_arrival)}});
   if (on_complete_) on_complete_(job, engine_.now());
@@ -299,6 +312,17 @@ void Node::on_tick() {
 
 bool Node::abort(std::uint64_t job_id) {
   assert(alive_);
+  return remove_live(job_id, "abandoned");
+}
+
+bool Node::cancel(std::uint64_t job_id) {
+  // The hedger cancels against a possibly-stale location; a node that
+  // crashed in between already dropped the process.
+  if (!alive_) return false;
+  return remove_live(job_id, "cancelled");
+}
+
+bool Node::remove_live(std::uint64_t job_id, const char* note) {
   Process* proc = nullptr;
   for (Process* live : live_) {
     if (live->job.id == job_id) {
@@ -366,9 +390,8 @@ bool Node::abort(std::uint64_t job_id) {
 
   memory_.release(proc->granted_pages);
   if (obs_.trace != nullptr)
-    obs_.trace->async_end(obs::Category::kRequest,
-                          proc->job.request.is_dynamic() ? "cgi" : "file",
-                          id_, job_id, now, {{"abandoned", 1}});
+    obs_.trace->async_end(obs::Category::kRequest, req_name(proc->job),
+                          id_, job_id, now, {{note, 1}});
   if (last_on_cpu_ == proc) last_on_cpu_ = nullptr;
   const std::size_t idx = proc->live_index;
   assert(idx < live_.size() && live_[idx] == proc);
@@ -429,8 +452,7 @@ std::vector<Job> Node::crash() {
     memory_.release(proc->granted_pages);
     if (obs_.trace != nullptr)
       obs_.trace->async_end(
-          obs::Category::kRequest,
-          proc->job.request.is_dynamic() ? "cgi" : "file", id_,
+          obs::Category::kRequest, req_name(proc->job), id_,
           proc->job.id, now, {{"dropped", 1}});
     dropped.push_back(std::move(proc->job));
     release_process(proc);

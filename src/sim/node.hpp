@@ -64,6 +64,14 @@ class Node {
   /// carries the id.
   bool abort(std::uint64_t job_id);
 
+  /// Hedge cancellation: identical mechanics to abort() — the process is
+  /// removed wherever it sits, partial slices are charged pro rata, and
+  /// its memory is released — but the trace marks the request "cancelled"
+  /// rather than "abandoned". Tolerates a dead node (returns false), so
+  /// the cluster may cancel against a possibly-stale location without
+  /// checking liveness first.
+  bool cancel(std::uint64_t job_id);
+
   // --- fault model (driven by fault::FaultInjector) ---
 
   bool alive() const { return alive_; }
@@ -142,6 +150,10 @@ class Node {
   void complete(Process* proc);
   void ensure_tick();
   void on_tick();
+
+  /// Shared abort/cancel mechanics; `note` is the trace key stamped on the
+  /// request's async-end event ("abandoned" or "cancelled").
+  bool remove_live(std::uint64_t job_id, const char* note);
 
   /// Pops a recycled process from the free list (or grows the arena) and
   /// resets every behavioral field to its freshly-constructed value; the

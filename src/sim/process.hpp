@@ -25,6 +25,11 @@ struct Job {
   /// Failover bookkeeping (0 / false unless the fault layer is active).
   std::uint32_t attempts = 0;  ///< re-dispatches after a node crash
   bool disrupted = false;      ///< touched by a failure window
+  /// Hedged-dispatch copy: runs in parallel with the primary; the first
+  /// completion settles the request and the loser is cancelled. Copies
+  /// never feed the span recorder (the primary owns the request's span
+  /// tree) and never fail over on their own.
+  bool hedge = false;
 };
 
 /// Alternating CPU / I/O demand, one entry per cycle.

@@ -77,6 +77,40 @@ double PercentileSampler::percentile(double q) const {
   return scratch_[lo] * (1.0 - frac) + scratch_[hi] * frac;
 }
 
+TrailingQuantile::TrailingQuantile(double q, std::size_t window,
+                                   std::size_t refresh)
+    : q_(std::clamp(q, 0.0, 1.0)),
+      window_(window ? window : 1),
+      refresh_(refresh ? refresh : 1) {
+  ring_.reserve(window_);
+}
+
+void TrailingQuantile::add(double x) {
+  if (ring_.size() < window_) {
+    ring_.push_back(x);
+  } else {
+    ring_[seen_ % window_] = x;
+  }
+  ++seen_;
+  if (++since_refresh_ >= refresh_ || seen_ <= min_samples_) {
+    since_refresh_ = 0;
+    recompute();
+  }
+}
+
+void TrailingQuantile::recompute() {
+  if (ring_.empty()) {
+    value_ = 0.0;
+    return;
+  }
+  scratch_ = ring_;
+  const double pos = q_ * static_cast<double>(scratch_.size() - 1);
+  const auto rank = static_cast<std::size_t>(pos + 0.5);
+  auto nth = scratch_.begin() + static_cast<std::ptrdiff_t>(rank);
+  std::nth_element(scratch_.begin(), nth, scratch_.end());
+  value_ = *nth;
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins ? bins : 1, 0) {}
 

@@ -85,6 +85,39 @@ class PercentileSampler {
   mutable bool dirty_ = false;
 };
 
+/// Trailing quantile over a fixed-size ring of the most recent samples.
+/// Unlike PercentileSampler (reservoir over the whole run) this tracks the
+/// *current* regime, which is what an online hedge-delay rule wants: the
+/// window forgets old load levels. The quantile is recomputed every
+/// `refresh` adds (nth_element over a scratch copy), so steady-state cost
+/// is O(1) amortized and fully deterministic — no RNG.
+class TrailingQuantile {
+ public:
+  explicit TrailingQuantile(double q, std::size_t window = 512,
+                            std::size_t refresh = 32);
+
+  void add(double x);
+  std::size_t count() const { return seen_; }
+  bool primed() const { return seen_ >= min_samples_; }
+  void set_min_samples(std::size_t n) { min_samples_ = n; }
+
+  /// Current quantile estimate over the trailing window (0 when empty).
+  double value() const { return value_; }
+
+ private:
+  void recompute();
+
+  double q_;
+  std::size_t window_;
+  std::size_t refresh_;
+  std::size_t min_samples_ = 1;
+  std::size_t seen_ = 0;
+  std::size_t since_refresh_ = 0;
+  double value_ = 0.0;
+  std::vector<double> ring_;
+  std::vector<double> scratch_;
+};
+
 /// Fixed-bin linear histogram over [lo, hi) with under/overflow bins.
 class Histogram {
  public:

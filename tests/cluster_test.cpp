@@ -225,6 +225,103 @@ TEST(Cluster, EventCountsScaleWithTraffic) {
   EXPECT_GT(big.run.events, small.run.events);
 }
 
+// --- Hedged dispatch ---
+
+ExperimentSpec hedge_spec(std::uint64_t seed = 5) {
+  ExperimentSpec spec = small_spec(SchedulerKind::kMs, seed);
+  // Fail-slow churn supplies the limping nodes the hedges rescue from.
+  spec.fault.enabled = true;
+  spec.fault.degrade_mttf_s = 2.0;
+  spec.fault.degrade_mttr_s = 1.0;
+  spec.fault.degrade_cpu_factor = 0.1;
+  spec.fault.stall_period_s = 0.5;
+  spec.hedge.enabled = true;
+  return spec;
+}
+
+TEST(Hedge, WinLoseCancelAccountingCloses) {
+  const ExperimentResult result = run_experiment(hedge_spec());
+  const RunResult& r = result.run;
+  ASSERT_TRUE(r.hedging_enabled);
+  EXPECT_GT(r.hedges_launched, 0u);
+  EXPECT_GT(r.hedge_wins, 0u);
+  EXPECT_GT(r.hedge_cancellations, 0u);
+  // Every launched hedge resolves exactly one way: its request settles
+  // (one side wins, the loser is cancelled or already finished) or the
+  // copy evaporated with its node.
+  EXPECT_LE(r.hedge_wins, r.hedges_launched);
+  EXPECT_LE(r.hedge_cancellations, r.hedges_launched);
+  // The ledger closes exactly: a hedge winner counts once, a cancelled
+  // loser never counts, and no request vanishes.
+  EXPECT_EQ(r.completed + r.timeouts + r.shed + r.abandoned, r.submitted);
+}
+
+TEST(Hedge, DeterministicAcrossRuns) {
+  const ExperimentResult a = run_experiment(hedge_spec());
+  const ExperimentResult b = run_experiment(hedge_spec());
+  EXPECT_EQ(a.run.hedges_launched, b.run.hedges_launched);
+  EXPECT_EQ(a.run.hedge_wins, b.run.hedge_wins);
+  EXPECT_EQ(a.run.hedge_cancellations, b.run.hedge_cancellations);
+  EXPECT_EQ(a.run.events, b.run.events);
+  EXPECT_DOUBLE_EQ(a.run.metrics.stretch, b.run.metrics.stretch);
+}
+
+TEST(Hedge, NeverFiringHedgeLeavesMetricsIdentical) {
+  // A hedge delay no request can outlive arms timers but never launches:
+  // the run's routing, draws, and metrics must match the hedging-off run
+  // exactly (the off-by-default contract, probed from the enabled side).
+  ExperimentSpec off = small_spec(SchedulerKind::kMs);
+  ExperimentSpec armed = off;
+  armed.hedge.enabled = true;
+  armed.hedge.delay_s = 1e6;
+  const ExperimentResult a = run_experiment(off);
+  const ExperimentResult b = run_experiment(armed);
+  EXPECT_EQ(b.run.hedges_launched, 0u);
+  EXPECT_EQ(a.run.metrics.completed, b.run.metrics.completed);
+  EXPECT_DOUBLE_EQ(a.run.metrics.stretch, b.run.metrics.stretch);
+  EXPECT_DOUBLE_EQ(a.run.metrics.p95_response_s,
+                   b.run.metrics.p95_response_s);
+}
+
+TEST(Hedge, NoDoubleCountingUnderLossyNetwork) {
+  // The hostile composition: hedge copies racing primaries over a lossy
+  // interconnect with limping nodes. Wire-lost requests surface as
+  // timeouts; nothing is ever counted twice or lost.
+  ExperimentSpec spec = hedge_spec(11);
+  spec.net.enabled = true;
+  spec.net.loss = 0.05;
+  const ExperimentResult result = run_experiment(spec);
+  const RunResult& r = result.run;
+  EXPECT_GT(r.hedges_launched, 0u);
+  EXPECT_EQ(r.completed + r.timeouts + r.shed + r.abandoned, r.submitted);
+}
+
+TEST(Hedge, ReducesTailUnderLimpingNodes) {
+  // The point of the whole mechanism: against the same limping cluster,
+  // hedging must not make the tail worse — and with the watchdog it
+  // should measurably shrink it. (The strong >= 50% recovery assertion
+  // lives in bench/ext_gray.cpp where runs are long enough for a stable
+  // p95; here a cheap sanity bound keeps the test fast.)
+  ExperimentSpec undefended = hedge_spec(3);
+  undefended.hedge.enabled = false;
+  ExperimentSpec defended = hedge_spec(3);
+  defended.slow_health.enabled = true;
+  const ExperimentResult a = run_experiment(undefended);
+  const ExperimentResult b = run_experiment(defended);
+  EXPECT_LT(b.run.metrics.p95_stretch, a.run.metrics.p95_stretch);
+}
+
+TEST(Hedge, InvalidConfigThrows) {
+  ExperimentSpec spec = small_spec(SchedulerKind::kMs);
+  spec.hedge.enabled = true;
+  spec.hedge.delay_s = -1.0;
+  EXPECT_THROW(run_experiment(spec), std::invalid_argument);
+  spec = small_spec(SchedulerKind::kMs);
+  spec.hedge.enabled = true;
+  spec.hedge.delay_factor = 0.0;
+  EXPECT_THROW(run_experiment(spec), std::invalid_argument);
+}
+
 TEST(Improvement, Definition) {
   ExperimentResult a, b;
   a.run.metrics.stretch = 2.0;

@@ -5,6 +5,9 @@
 // post-promotion recovery, seed determinism under churn).
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "core/cluster.hpp"
 #include "core/experiment.hpp"
 #include "core/reservation.hpp"
@@ -172,6 +175,37 @@ TEST(NodeFault, DegradationSlowsCompletion) {
   const Time degraded = completion_time(0.25, 0.5);
   ASSERT_GT(nominal, 0);
   EXPECT_GT(degraded, 2 * nominal);
+}
+
+TEST(NodeFault, CancelRemovesLiveJobWithoutCompleting) {
+  sim::Engine engine;
+  sim::OsParams os;
+  sim::Node node(engine, os, sim::NodeParams{}, 0);
+  std::vector<std::uint64_t> completed;
+  node.set_completion_callback(
+      [&](const sim::Job& job, Time) { completed.push_back(job.id); });
+  for (std::uint64_t i = 1; i <= 2; ++i) {
+    sim::Job job;
+    job.id = i;
+    job.request = small_request();
+    node.submit(std::move(job));
+  }
+  engine.run_until(5 * kMillisecond);
+  ASSERT_EQ(node.live_processes(), 2u);
+
+  // Cancelling a live job frees its slot; the survivor still finishes.
+  EXPECT_TRUE(node.cancel(2));
+  EXPECT_EQ(node.live_processes(), 1u);
+  // A second cancel of the same id (the loser already gone) is a no-op.
+  EXPECT_FALSE(node.cancel(2));
+  EXPECT_FALSE(node.cancel(99));
+  engine.run();
+  EXPECT_EQ(completed, (std::vector<std::uint64_t>{1}));
+
+  // Cancel against a dead node must be tolerated, not assert: the cluster
+  // cancels against a possibly-stale hedge location.
+  node.crash();
+  EXPECT_FALSE(node.cancel(1));
 }
 
 // --- Failure detection latency ---
@@ -386,6 +420,184 @@ TEST(ClusterFault, DegradedSlavesRaiseDynamicStretch) {
   // Degradation is not a crash: everything still completes.
   EXPECT_EQ(b.run.timeouts, 0u);
   EXPECT_EQ(b.run.completed, b.run.submitted);
+}
+
+// --- Fail-slow churn (gray failures) ---
+
+core::ExperimentSpec gray_churn_spec(std::uint64_t seed = 5) {
+  core::ExperimentSpec spec = fault_spec(core::SchedulerKind::kMs, seed);
+  spec.fault.enabled = true;
+  spec.fault.degrade_mttf_s = 3.0;
+  spec.fault.degrade_mttr_s = 1.0;
+  spec.fault.stall_period_s = 0.5;
+  return spec;
+}
+
+TEST(GrayFault, DegradeChurnDeterministicInSeed) {
+  const core::ExperimentResult a = core::run_experiment(gray_churn_spec());
+  const core::ExperimentResult b = core::run_experiment(gray_churn_spec());
+  EXPECT_GT(a.run.degrade_events, 0u);
+  EXPECT_EQ(a.run.degrade_events, b.run.degrade_events);
+  EXPECT_DOUBLE_EQ(a.run.degraded_node_s, b.run.degraded_node_s);
+  EXPECT_EQ(a.run.events, b.run.events);
+  EXPECT_DOUBLE_EQ(a.run.metrics.stretch, b.run.metrics.stretch);
+}
+
+TEST(GrayFault, DegradeChurnSlowsButNeverLosesRequests) {
+  core::ExperimentSpec clean = fault_spec(core::SchedulerKind::kMs);
+  const core::ExperimentResult a = core::run_experiment(clean);
+  const core::ExperimentResult b = core::run_experiment(gray_churn_spec());
+  EXPECT_GT(b.run.metrics.stretch, a.run.metrics.stretch);
+  // A limping node is not a dead node: no crashes, no downtime, every
+  // request completes.
+  EXPECT_EQ(b.run.node_crashes, 0u);
+  EXPECT_DOUBLE_EQ(b.run.availability, 1.0);
+  EXPECT_EQ(b.run.timeouts, 0u);
+  EXPECT_EQ(b.run.completed, b.run.submitted);
+  EXPECT_GT(b.run.degraded_node_s, 0.0);
+}
+
+TEST(GrayFault, DegradeStreamsIsolatedFromCrashStreams) {
+  // Stream isolation: switching fail-slow churn on must not move a single
+  // stochastic crash (each node's degrade stream is independent of its
+  // crash stream).
+  core::ExperimentSpec crashes_only =
+      fault_spec(core::SchedulerKind::kMs, 11);
+  crashes_only.fault.enabled = true;
+  crashes_only.fault.mttf_s = 2.0;
+  crashes_only.fault.mttr_s = 0.7;
+  core::ExperimentSpec both = crashes_only;
+  both.fault.degrade_mttf_s = 3.0;
+  both.fault.degrade_mttr_s = 1.0;
+  const core::ExperimentResult a = core::run_experiment(crashes_only);
+  const core::ExperimentResult b = core::run_experiment(both);
+  EXPECT_GT(a.run.node_crashes, 0u);
+  EXPECT_EQ(a.run.node_crashes, b.run.node_crashes);
+  EXPECT_GT(b.run.degrade_events, 0u);
+}
+
+// --- Latency watchdog (SlowHealthMonitor) ---
+
+struct WatchdogRig {
+  sim::Engine engine;
+  sim::OsParams os;
+  std::vector<std::unique_ptr<sim::Node>> owned;
+  std::vector<sim::Node*> nodes;
+
+  explicit WatchdogRig(int n) {
+    for (int i = 0; i < n; ++i) {
+      owned.push_back(
+          std::make_unique<sim::Node>(engine, os, sim::NodeParams{}, i));
+      nodes.push_back(owned.back().get());
+    }
+  }
+};
+
+fault::SlowHealthConfig watchdog_config() {
+  fault::SlowHealthConfig config;
+  config.enabled = true;
+  config.alpha = 0.5;
+  config.min_samples = 4;
+  return config;
+}
+
+TEST(SlowHealth, FlagsRelativeOutlierAndRecovers) {
+  WatchdogRig rig(4);
+  fault::SlowHealthMonitor mon(4, watchdog_config());
+  // Nodes 0-2 complete at stretch 1, node 3 at stretch 10.
+  for (int round = 0; round < 8; ++round) {
+    for (int node = 0; node < 3; ++node)
+      mon.on_completion(node, 100, 100);
+    mon.on_completion(3, 1000, 100);
+  }
+  mon.check_now(rig.nodes);
+  EXPECT_EQ(mon.health(3), fault::NodeHealth::kDegraded);
+  EXPECT_EQ(mon.health(0), fault::NodeHealth::kHealthy);
+  EXPECT_EQ(mon.degrade_transitions(), 1u);
+  EXPECT_DOUBLE_EQ(mon.scale()[3], 1.0 + watchdog_config().penalty);
+  EXPECT_EQ(mon.degraded_count(), 1);
+
+  // The node heals: its EWMA decays back toward the peer median and the
+  // hysteresis band releases it.
+  for (int round = 0; round < 64; ++round) mon.on_completion(3, 100, 100);
+  mon.check_now(rig.nodes);
+  EXPECT_EQ(mon.health(3), fault::NodeHealth::kHealthy);
+  EXPECT_EQ(mon.recover_transitions(), 1u);
+  EXPECT_DOUBLE_EQ(mon.scale()[3], 1.0);
+  EXPECT_EQ(mon.degraded_count(), 0);
+}
+
+TEST(SlowHealth, UniformSlownessIsNotFlagged) {
+  // The relative-median test is what makes this *gray-failure* detection:
+  // under uniform overload every node slows down together and none is an
+  // outlier.
+  WatchdogRig rig(4);
+  fault::SlowHealthMonitor mon(4, watchdog_config());
+  for (int round = 0; round < 8; ++round)
+    for (int node = 0; node < 4; ++node)
+      mon.on_completion(node, 2000, 100);
+  mon.check_now(rig.nodes);
+  for (int node = 0; node < 4; ++node)
+    EXPECT_EQ(mon.health(node), fault::NodeHealth::kHealthy);
+  EXPECT_EQ(mon.degrade_transitions(), 0u);
+}
+
+TEST(SlowHealth, NodeDownResetsHistoryAndFlag) {
+  WatchdogRig rig(4);
+  fault::SlowHealthMonitor mon(4, watchdog_config());
+  for (int round = 0; round < 8; ++round) {
+    for (int node = 0; node < 3; ++node)
+      mon.on_completion(node, 100, 100);
+    mon.on_completion(3, 1000, 100);
+  }
+  mon.check_now(rig.nodes);
+  ASSERT_EQ(mon.health(3), fault::NodeHealth::kDegraded);
+
+  // A crashed/powered-down node loses its EWMA (it describes a machine
+  // that no longer exists) and its degraded flag.
+  mon.on_node_down(3);
+  EXPECT_EQ(mon.health(3), fault::NodeHealth::kHealthy);
+  EXPECT_EQ(mon.degraded_count(), 0);
+  // Un-primed after the reset: the next check must not re-flag it off
+  // stale history.
+  mon.check_now(rig.nodes);
+  EXPECT_EQ(mon.health(3), fault::NodeHealth::kHealthy);
+}
+
+TEST(SlowHealth, ConfigValidates) {
+  fault::SlowHealthConfig config;
+  config.alpha = 0.0;
+  EXPECT_THROW(fault::SlowHealthMonitor(2, config), std::invalid_argument);
+  config = {};
+  config.recover_ratio = config.degrade_ratio + 1.0;
+  EXPECT_THROW(fault::SlowHealthMonitor(2, config), std::invalid_argument);
+  config = {};
+  config.min_samples = 0;
+  EXPECT_THROW(fault::SlowHealthMonitor(2, config), std::invalid_argument);
+  config = {};
+  config.penalty = -0.5;
+  EXPECT_THROW(fault::SlowHealthMonitor(2, config), std::invalid_argument);
+}
+
+TEST(ClusterFault, WatchdogFlagsLimpingNodeInFullRun) {
+  // End to end: one slave limps for the whole run; the watchdog must flag
+  // it (and only transitions counted by the run result).
+  core::ExperimentSpec spec = fault_spec(core::SchedulerKind::kMs, 7);
+  spec.fault.enabled = true;
+  spec.fault.script.push_back(
+      {1 * kSecond, spec.p - 1, fault::FaultKind::kDegrade, 0.1, 0.2});
+  spec.slow_health.enabled = true;
+  // A short run feeds each node only a few dozen completions, so prime
+  // the EWMA faster than the production defaults.
+  spec.slow_health.alpha = 0.3;
+  spec.slow_health.min_samples = 8;
+  const core::ExperimentResult result = core::run_experiment(spec);
+  EXPECT_GE(result.run.slow_degraded, 1u);
+  // Determinism rides along.
+  const core::ExperimentResult again = core::run_experiment(spec);
+  EXPECT_EQ(result.run.slow_degraded, again.run.slow_degraded);
+  EXPECT_EQ(result.run.slow_recovered, again.run.slow_recovered);
+  EXPECT_DOUBLE_EQ(result.run.metrics.stretch, again.run.metrics.stretch);
 }
 
 }  // namespace

@@ -491,6 +491,61 @@ TEST(ObsDecisions, CsvHasStableHeader) {
   EXPECT_NE(out.str().find("0:1.2000|1:3.4000"), std::string::npos);
 }
 
+TEST(ObsDecisions, GrayColumnsAreOptIn) {
+  // Without the opt-in, the established header never changes — even for
+  // a record that carries gray fields.
+  {
+    obs::DecisionLog plain;
+    obs::DecisionRecord record;
+    record.reason = "min-rsrc";
+    record.slow_penalty = 2.0;
+    record.hedged = true;
+    plain.record(record, nullptr, 0);
+    std::ostringstream out;
+    plain.write_csv(out);
+    EXPECT_EQ(out.str().find("slow_penalty"), std::string::npos);
+    EXPECT_EQ(out.str().find("hedged"), std::string::npos);
+  }
+  // With it, the columns sit between theta_eff and candidates.
+  obs::DecisionLog gray;
+  gray.enable_gray_columns();
+  obs::DecisionRecord record;
+  record.reason = "min-rsrc";
+  record.slow_penalty = 2.0;
+  record.hedged = true;
+  gray.record(record, nullptr, 0);
+  std::ostringstream out;
+  gray.write_csv(out);
+  EXPECT_NE(
+      out.str().find("seq,t_s,class,receiver,chosen,remote,w,reason,"
+                     "stale_s,w_hat,theta_eff,slow_penalty,hedged,"
+                     "candidates"),
+      std::string::npos);
+}
+
+TEST(ObsDecisions, GrayRunsStampHedgedDispatches) {
+  // A hedging run's decision log flips to the extended schema and marks
+  // hedge-copy routing decisions.
+  obs::DecisionLog decisions;
+  core::ExperimentSpec spec = obs_spec(11);
+  spec.fault.enabled = true;
+  spec.fault.degrade_mttf_s = 2.0;
+  spec.fault.degrade_mttr_s = 1.0;
+  spec.fault.degrade_cpu_factor = 0.1;
+  spec.fault.stall_period_s = 0.5;
+  spec.hedge.enabled = true;
+  spec.observer.decisions = &decisions;
+  const auto result = core::run_experiment(spec);
+  ASSERT_GT(result.run.hedges_launched, 0u);
+  EXPECT_TRUE(decisions.gray_columns());
+  std::size_t hedged = 0;
+  for (const obs::DecisionRecord& record : decisions.records())
+    if (record.hedged) ++hedged;
+  // Every hedge routing decision is stamped — the launched ones and the
+  // ones skipped for want of a distinct healthy target.
+  EXPECT_EQ(hedged, result.run.hedges_launched + result.run.hedges_skipped);
+}
+
 // --- observability never perturbs results ---
 
 TEST(ObsNeutrality, ArtifactsByteIdenticalWithObservabilityOn) {

@@ -14,6 +14,12 @@ Checks the invariants Perfetto / chrome://tracing rely on:
   * flow events ("s"/"t"/"f") carry "id"; under --spans each flow id's
     event sequence starts with "s", ends with "f" (binding point "e"),
     and has only "t" steps in between
+  * under --hedges, hedged-dispatch bookkeeping: every hedge-copy
+    request ("cgi-hedge"/"file-hedge" async pair) was announced by a
+    "hedge" dispatch instant, no request carries more than one copy,
+    every copy reaches an end (completed, cancelled, or dropped with
+    its node), at most one side of a race is cancelled, and a
+    cancellation only ever happens on a hedged request
 
 Span-exemplar JSON (--exemplars FILE, repeatable) is validated for
 well-formedness: each exemplar has exactly one root span, every child
@@ -64,8 +70,22 @@ def fail(message):
     sys.exit(1)
 
 
+def job_key(async_id):
+    """Normalize an async id to the integer job id it encodes.
+
+    The sink writes async ids as hex strings ("0xaf") while instant args
+    carry plain integers; hedge bookkeeping must join the two.
+    """
+    if isinstance(async_id, str):
+        try:
+            return int(async_id, 0)
+        except ValueError:
+            return async_id
+    return async_id
+
+
 def check_trace(path, required_phases, require_net=False, require_ctrl=False,
-                require_spans=False):
+                require_spans=False, require_hedges=False):
     try:
         with open(path, encoding="utf-8") as handle:
             doc = json.load(handle)
@@ -83,6 +103,10 @@ def check_trace(path, required_phases, require_net=False, require_ctrl=False,
     pids = set()
     async_depth = collections.Counter()
     flows = collections.defaultdict(list)  # id -> [(ts, index, phase)]
+    hedge_announced = set()          # job ids with a "hedge" instant
+    hedge_copy_begins = collections.Counter()  # job id -> copy begins
+    hedge_copy_depth = collections.Counter()   # job id -> open copies
+    cancel_counts = collections.Counter()      # job id -> cancelled ends
     for index, event in enumerate(events):
         where = f"{path}: event {index}"
         if not isinstance(event, dict):
@@ -113,6 +137,11 @@ def check_trace(path, required_phases, require_net=False, require_ctrl=False,
         elif phase == "i":
             if "s" not in event:
                 fail(f"{where} ({name}): instant without scope")
+            if name == "hedge" and event.get("cat") == "dispatch":
+                job = event.get("args", {}).get("job")
+                if not isinstance(job, int):
+                    fail(f"{where} ({name}): hedge instant without job id")
+                hedge_announced.add(job)
         elif phase in ("b", "e"):
             if "id" not in event:
                 fail(f"{where} ({name}): async event without id")
@@ -120,6 +149,15 @@ def check_trace(path, required_phases, require_net=False, require_ctrl=False,
             async_depth[key] += 1 if phase == "b" else -1
             if async_depth[key] < 0:
                 fail(f"{where} ({name}): async end before begin for {key}")
+            if name in ("cgi-hedge", "file-hedge"):
+                if phase == "b":
+                    hedge_copy_begins[job_key(event["id"])] += 1
+                hedge_copy_depth[job_key(event["id"])] += \
+                    1 if phase == "b" else -1
+            if (phase == "e"
+                    and name in ("cgi", "file", "cgi-hedge", "file-hedge")
+                    and "cancelled" in event.get("args", {})):
+                cancel_counts[job_key(event["id"])] += 1
         elif phase in ("s", "t", "f"):
             if "id" not in event:
                 fail(f"{where} ({name}): flow event without id")
@@ -159,14 +197,39 @@ def check_trace(path, required_phases, require_net=False, require_ctrl=False,
         fail(f"{path}: no net-lane events (required by --net)")
     if require_ctrl and category_counts["ctrl"] == 0:
         fail(f"{path}: no ctrl-lane events (required by --ctrl)")
+    if require_hedges:
+        if not hedge_announced:
+            fail(f"{path}: no hedge dispatch instants (required by --hedges)")
+        for job_id, begins in hedge_copy_begins.items():
+            if job_id not in hedge_announced:
+                fail(f"{path}: job {job_id}: hedge copy without a "
+                     f"hedge dispatch instant")
+            if begins > 1:
+                fail(f"{path}: job {job_id}: {begins} hedge copies "
+                     f"(at most one per request)")
+            if hedge_copy_depth[job_id] != 0:
+                fail(f"{path}: job {job_id}: hedge copy never reached "
+                     f"an end event")
+        for job_id, cancels in cancel_counts.items():
+            if cancels > 1:
+                fail(f"{path}: job {job_id}: {cancels} cancelled ends "
+                     f"(both sides of the race cancelled)")
+            if job_id not in hedge_announced:
+                fail(f"{path}: job {job_id}: cancellation on a request "
+                     f"that was never hedged")
     # Dropped requests legitimately leave unmatched begins; an excess of
     # ends can never be legitimate and is caught per-event above.
     open_spans = sum(1 for depth in async_depth.values() if depth > 0)
     summary = " ".join(
         f"{phase}={phase_counts[phase]}" for phase in sorted(phase_counts))
+    hedge_note = ""
+    if hedge_announced:
+        hedge_note = (f", hedges={len(hedge_announced)}, "
+                      f"hedge_copies={sum(hedge_copy_begins.values())}, "
+                      f"hedge_cancels={sum(cancel_counts.values())}")
     print(f"check_trace: OK: {path}: {len(events)} events, "
           f"{len(pids)} pids, {summary}, open_async={open_spans}, "
-          f"flows={len(flows)}, open_flows={open_flows}")
+          f"flows={len(flows)}, open_flows={open_flows}{hedge_note}")
 
 
 def check_probes(path, require_net=False, require_ctrl=False):
@@ -296,11 +359,16 @@ def main():
         help="require request flow events and fail on any flow left "
              "without a finish (every request must reach a terminal)")
     parser.add_argument(
+        "--hedges", action="store_true",
+        help="require hedged-dispatch instants and validate hedge-copy / "
+             "cancellation bookkeeping (one copy per request, every copy "
+             "ends, at most one side of a race cancelled)")
+    parser.add_argument(
         "--exemplars", action="append", default=[], metavar="FILE",
         help="span-exemplar JSON file to validate (repeatable)")
     options = parser.parse_args()
     check_trace(options.trace, options.require_phase, options.net,
-                options.ctrl, options.spans)
+                options.ctrl, options.spans, options.hedges)
     if options.probes:
         check_probes(options.probes, options.net, options.ctrl)
     for path in options.exemplars:
