@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "check/invariants.hpp"
 #include "harness/bench_cli.hpp"
 #include "util/table.hpp"
 
@@ -72,12 +73,9 @@ harness::ResultRow ctrl_row(const harness::GridPoint& point) {
 }
 
 /// completed + timeouts + shed + abandoned == submitted: draining a node
-/// must migrate its queue, never lose it.
+/// must migrate its queue, never lose it (shared registry definition).
 bool ledger_closed(const harness::ResultRow& row) {
-  const double accounted =
-      row.number("completed_total") + row.number("timeouts") +
-      row.number("shed") + row.number("abandoned");
-  return std::llround(accounted) == std::llround(row.number("submitted"));
+  return check::InvariantRegistry::row_ledger_closed(row);
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "check/invariants.hpp"
 #include "harness/bench_cli.hpp"
 #include "util/table.hpp"
 
@@ -87,11 +88,14 @@ int main(int argc, char** argv) {
   };
   drill.axes = {scenario};
 
+  // ledger_row == experiment_row + the submitted/completed_total pair, so
+  // every cell can assert ledger closure through the shared registry.
   const auto churn_run =
-      harness::run_bench(churn, cli, harness::experiment_row);
+      harness::run_bench(churn, cli, check::InvariantRegistry::ledger_row);
   const auto drill_run =
-      harness::run_bench(drill, cli, harness::experiment_row);
+      harness::run_bench(drill, cli, check::InvariantRegistry::ledger_row);
   if (!churn_run || !drill_run) return 0;  // --list mode
+  int failures = 0;
 
   std::printf("Fault injection: p=%d, KSU profile, lambda=%.0f, 1/r=%.0f, "
               "%.0f s runs, MTTR=%.0f s\n\n",
@@ -99,9 +103,11 @@ int main(int argc, char** argv) {
               spec.fault.mttr_s);
 
   Table sweep_table({"scheduler", "mttf", "stretch", "avail", "crashes",
-                     "redisp", "timeout", "promote"});
+                     "redisp", "timeout", "promote", "ledger"});
   for (const harness::ResultRow& row : churn_run->rows) {
     const std::string mttf = row.text("mttf");
+    const bool closed = check::InvariantRegistry::row_ledger_closed(row);
+    if (!closed) ++failures;
     sweep_table.row()
         .cell(row.text("scheduler"))
         .cell(mttf == "none" ? mttf : mttf + " s")
@@ -110,19 +116,22 @@ int main(int argc, char** argv) {
         .cell(row.text("node_crashes"))
         .cell(row.text("redispatches"))
         .cell(row.text("timeouts"))
-        .cell(row.text("promotions"));
+        .cell(row.text("promotions"))
+        .cell(closed ? "closed" : "LEAK");
   }
   std::fputs(sweep_table.str().c_str(), stdout);
 
   std::printf("\nMaster-crash drill (M/S): node 0 dies at t=5 s, tail "
               "window = arrivals after 7 s\n\n");
   Table d({"run", "stretch", "tail stretch", "avail", "redisp", "timeout",
-           "promote"});
+           "promote", "ledger"});
   const harness::ResultRow* clean = nullptr;
   const harness::ResultRow* hit = nullptr;
   for (const harness::ResultRow& row : drill_run->rows) {
     if (row.text("scenario") == "clean") clean = &row;
     else hit = &row;
+    const bool closed = check::InvariantRegistry::row_ledger_closed(row);
+    if (!closed) ++failures;
     d.row()
         .cell(row.text("scenario") == "clean" ? "clean" : "master crash")
         .cell(row.number("stretch"), 3)
@@ -130,7 +139,8 @@ int main(int argc, char** argv) {
         .cell_percent(row.number("availability"), 2)
         .cell(row.text("redispatches"))
         .cell(row.text("timeouts"))
-        .cell(row.text("promotions"));
+        .cell(row.text("promotions"))
+        .cell(closed ? "closed" : "LEAK");
   }
   std::fputs(d.str().c_str(), stdout);
   if (clean && hit) {
@@ -144,5 +154,7 @@ int main(int argc, char** argv) {
                 hit->text("completed_disrupted").c_str(),
                 hit->number("stretch_disrupted"));
   }
-  return 0;
+  if (failures > 0)
+    std::printf("\n%d ledger violation(s) — see rows above.\n", failures);
+  return failures == 0 ? 0 : 1;
 }

@@ -31,6 +31,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "check/invariants.hpp"
 #include "harness/bench_cli.hpp"
 #include "util/table.hpp"
 
@@ -82,12 +83,9 @@ harness::ResultRow gray_row(const harness::GridPoint& point) {
 
 /// completed + timeouts + shed + abandoned == submitted: a hedge loser is
 /// cancelled, never counted, and no request may vanish however slow the
-/// node it landed on.
+/// node it landed on (shared registry definition).
 bool ledger_closed(const harness::ResultRow& row) {
-  const double accounted =
-      row.number("completed_total") + row.number("timeouts") +
-      row.number("shed") + row.number("abandoned");
-  return std::llround(accounted) == std::llround(row.number("submitted"));
+  return check::InvariantRegistry::row_ledger_closed(row);
 }
 
 }  // namespace

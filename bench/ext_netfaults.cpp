@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "check/invariants.hpp"
 #include "harness/bench_cli.hpp"
 #include "util/table.hpp"
 
@@ -62,12 +63,9 @@ harness::ResultRow net_row(const harness::GridPoint& point) {
 }
 
 /// completed + timeouts + shed + abandoned == submitted: no request may
-/// vanish, however hostile the wire.
+/// vanish, however hostile the wire (shared registry definition).
 bool ledger_closed(const harness::ResultRow& row) {
-  const double accounted =
-      row.number("completed_total") + row.number("timeouts") +
-      row.number("shed") + row.number("abandoned");
-  return std::llround(accounted) == std::llround(row.number("submitted"));
+  return check::InvariantRegistry::row_ledger_closed(row);
 }
 
 }  // namespace
@@ -148,8 +146,9 @@ int main(int argc, char** argv) {
                  "partitions", "timeout", "ledger"});
     for (const harness::ResultRow& row : part_run->rows) {
       const bool closed = ledger_closed(row);
-      const bool safe = row.text("quorum") != "on" ||
-                        std::llround(row.number("net_split_brain_rounds")) == 0;
+      const bool safe =
+          row.text("quorum") != "on" ||
+          check::InvariantRegistry::row_split_brain_rounds(row) == 0;
       if (!closed || !safe) ++failures;
       table.row()
           .cell(row.text("quorum"))

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "check/invariants.hpp"
 #include "harness/bench_cli.hpp"
 #include "util/table.hpp"
 
@@ -80,8 +81,13 @@ int main(int argc, char** argv) {
   };
   ramp.axes = {harness::lambda_axis(lambdas), overload_axis};
 
-  const auto run = harness::run_bench(ramp, cli, harness::experiment_row);
+  // ledger_row == experiment_row + the submitted/completed_total pair, so
+  // every cell can assert ledger closure through the shared registry: shed
+  // and abandoned requests must be accounted, never silently dropped.
+  const auto run =
+      harness::run_bench(ramp, cli, check::InvariantRegistry::ledger_row);
   if (!run) return 0;  // --list mode
+  int failures = 0;
 
   std::printf(
       "Overload ramp: p=%d, KSU profile, M/S, %.0f s runs, lambda "
@@ -92,8 +98,10 @@ int main(int argc, char** argv) {
       spec.p, spec.duration_s, lambdas.front(), lambdas.back());
 
   Table table({"lambda", "overload", "goodput", "slo", "p95 st-stretch",
-               "stretch", "shed", "abandon", "degraded"});
+               "stretch", "shed", "abandon", "degraded", "ledger"});
   for (const harness::ResultRow& row : run->rows) {
+    const bool closed = check::InvariantRegistry::row_ledger_closed(row);
+    if (!closed) ++failures;
     table.row()
         .cell(row.text("lambda"))
         .cell(row.text("overload"))
@@ -103,7 +111,8 @@ int main(int argc, char** argv) {
         .cell(row.number("stretch"), 2)
         .cell(row.text("shed"))
         .cell(row.text("abandoned"))
-        .cell(row.text("degraded_entries"));
+        .cell(row.text("degraded_entries"))
+        .cell(closed ? "closed" : "LEAK");
   }
   std::fputs(table.str().c_str(), stdout);
 
@@ -129,5 +138,7 @@ int main(int argc, char** argv) {
                 "quarantined — saturation without shedding is exactly the "
                 "failure mode the overload layer removes.\n",
                 run->failures.size());
-  return 0;
+  if (failures > 0)
+    std::printf("\n%d ledger violation(s) — see rows above.\n", failures);
+  return failures == 0 ? 0 : 1;
 }

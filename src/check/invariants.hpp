@@ -1,0 +1,99 @@
+// The invariant registry: every cross-subsystem correctness property the
+// repo has accumulated — previously buried as one-off asserts in benches
+// and tests — hoisted into named, reusable checkers that run against any
+// completed experiment and return structured violation reports instead of
+// aborting.
+//
+// The catalog (names are stable identifiers, used in reports, repro files
+// and docs):
+//
+//   ledger-closure     completed + timeouts + shed + abandoned == submitted
+//   no-split-brain     zero membership rounds with more than m claimants
+//   powered-floor      autoscaler never drops below min_powered (and the
+//                      powered set is a prefix by construction — scale-down
+//                      always drains the highest node); without autoscaling
+//                      every node stays powered
+//   span-closure       per-request phase ledgers telescope exactly to the
+//                      sojourn (SpanSummary::closure_violations == 0)
+//   theta-feasible     theta'_2 stays inside its (p, m)-feasible bounds
+//   monotone-time      the clock never runs backwards: non-negative
+//                      durations, ordered percentiles, rates in range
+//   hedge-accounting   every hedge settles at most once: at most one
+//                      cancellation per launch, wins never exceed launches,
+//                      all counters zero when hedging is off
+//   energy-accounting  powered node-seconds integrate consistently
+//                      (== p * sim_seconds without autoscaling, bounded by
+//                      [powered_min, p] * sim_seconds with it)
+//
+// Checkers are applicability-aware: a checker that needs a subsystem the
+// spec never enabled reports nothing (it neither passes nor fails), so a
+// violation always means a real property of the configured run was broken.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "harness/artifacts.hpp"
+#include "harness/sweep.hpp"
+
+namespace wsched::check {
+
+/// One broken invariant, with the numbers that broke it.
+struct Violation {
+  std::string invariant;  ///< registry name ("ledger-closure", ...)
+  std::string detail;     ///< human-readable, deterministic for a given run
+};
+
+struct InvariantReport {
+  /// Checkers that were applicable to (and therefore ran against) the run.
+  std::vector<std::string> checked;
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+  /// "ok (8 invariants)" or one "name: detail" line per violation.
+  std::string to_string() const;
+};
+
+class InvariantRegistry {
+ public:
+  /// The built-in catalog above. Cheap to construct; `builtin()` returns a
+  /// shared immutable instance.
+  InvariantRegistry();
+  static const InvariantRegistry& builtin();
+
+  /// Registry names in catalog order.
+  std::vector<std::string> names() const;
+
+  /// Runs every applicable checker against a completed experiment.
+  InvariantReport check(const core::ExperimentSpec& spec,
+                        const core::ExperimentResult& result) const;
+
+  // --- row-level helpers (the ext_* bench dedup) -----------------------
+  // The benches assert over harness::ResultRow artifacts, not raw results;
+  // these reproduce the registry's ledger/split-brain checks at that level
+  // so every bench shares one definition.
+
+  /// Ledger closure over a result row: completed_total (or completed when
+  /// the net/ctrl/gray extension columns are absent) + timeouts + shed +
+  /// abandoned == submitted. Rows without a submitted column pass — the
+  /// ledger is unobservable there.
+  static bool row_ledger_closed(const harness::ResultRow& row);
+
+  /// Split-brain rounds recorded in a result row (0 when the column is
+  /// absent).
+  static std::uint64_t row_split_brain_rounds(const harness::ResultRow& row);
+
+  /// harness::experiment_row plus the submitted/completed_total ledger
+  /// pair: the standard eval for benches whose extension columns
+  /// (net/ctrl/gray) would otherwise be absent, so row_ledger_closed has
+  /// the full-ledger counters to read.
+  static harness::ResultRow ledger_row(const harness::GridPoint& point);
+
+ private:
+  struct Checker;
+  std::vector<Checker> checkers_;
+};
+
+}  // namespace wsched::check

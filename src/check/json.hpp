@@ -1,0 +1,49 @@
+// Minimal JSON reader for chaos-schedule files (see check/schedule.hpp).
+//
+// The repo writes JSON in several places (artifacts, traces, exemplars) but
+// until now never read it back; replayable schedules need a parser. This is
+// a small strict recursive-descent reader over the JSON subset the schedule
+// files use — objects, arrays, strings, numbers, booleans, null — with no
+// dependency beyond the standard library. Malformed input throws
+// std::invalid_argument with a byte offset; numbers are parsed as double
+// (every schedule field is a double, an integer that fits one exactly, or a
+// string), which is lossless for the 2^53 range the schedules live in.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wsched::check {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered members (schedules are written canonically, and
+  /// order-preserving round trips keep byte-identity testable).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is(Kind k) const { return kind == k; }
+
+  /// Member lookup; null when absent or when this is not an object.
+  const JsonValue* find(const std::string& key) const;
+
+  // Typed accessors with defaults for optional members. A member present
+  // with the wrong kind throws std::invalid_argument — a schedule with
+  // "loss": "high" is corrupt, not defaulted.
+  double get_number(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+};
+
+/// Parses one JSON document (leading/trailing whitespace allowed; anything
+/// after the value is an error). Throws std::invalid_argument.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace wsched::check

@@ -1,0 +1,186 @@
+#include "check/shrink.hpp"
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "check/runner.hpp"
+
+namespace wsched::check {
+
+namespace {
+
+bool violates(const ChaosSchedule& candidate, const std::string& invariant) {
+  if (!validate(candidate).empty()) return false;
+  const ChaosOutcome outcome = run_schedule(candidate);
+  for (const Violation& v : outcome.report.violations)
+    if (v.invariant == invariant) return true;
+  return false;
+}
+
+double round3(double v) { return std::round(v * 1000.0) / 1000.0; }
+
+/// One shrink move: mutates the candidate in place; returns false when the
+/// move does not apply to (or would not change) the current schedule.
+using Move = std::function<bool(ChaosSchedule&)>;
+
+/// The fixed candidate order. Structural drops first (they remove the most
+/// at once), then subsystem switch-offs, then numeric reductions.
+std::vector<Move> moves_for(const ChaosSchedule& s) {
+  std::vector<Move> moves;
+  for (std::size_t i = 0; i < s.crashes.size(); ++i)
+    moves.push_back([i](ChaosSchedule& c) {
+      if (i >= c.crashes.size()) return false;
+      c.crashes.erase(c.crashes.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    });
+  for (std::size_t i = 0; i < s.partitions.size(); ++i)
+    moves.push_back([i](ChaosSchedule& c) {
+      if (i >= c.partitions.size()) return false;
+      c.partitions.erase(c.partitions.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+      return true;
+    });
+
+  const auto zero_if = [&moves](double ChaosSchedule::*field) {
+    moves.push_back([field](ChaosSchedule& c) {
+      if (c.*field == 0.0) return false;
+      c.*field = 0.0;
+      return true;
+    });
+  };
+  zero_if(&ChaosSchedule::crash_mttf_s);
+  moves.push_back([](ChaosSchedule& c) {
+    if (c.degrade_mttf_s == 0.0) return false;
+    c.degrade_mttf_s = 0.0;
+    c.stall_period_s = 0.0;
+    return true;
+  });
+  zero_if(&ChaosSchedule::stall_period_s);
+
+  const auto clear_if = [&moves](bool ChaosSchedule::*field) {
+    moves.push_back([field](ChaosSchedule& c) {
+      if (!(c.*field)) return false;
+      c.*field = false;
+      return true;
+    });
+  };
+  clear_if(&ChaosSchedule::bursty);
+  clear_if(&ChaosSchedule::diurnal);
+  zero_if(&ChaosSchedule::flip_at_s);
+  moves.push_back([](ChaosSchedule& c) {
+    if (!c.hedge) return false;
+    c.hedge = false;
+    c.hedge_delay_s = 0.0;
+    return true;
+  });
+  clear_if(&ChaosSchedule::slow_health);
+  moves.push_back([](ChaosSchedule& c) {
+    if (!c.ctrl || c.autoscale) return false;  // autoscale is the scenario
+    c.ctrl = false;
+    return true;
+  });
+  clear_if(&ChaosSchedule::spans);
+  zero_if(&ChaosSchedule::net_loss);
+  zero_if(&ChaosSchedule::net_reorder);
+  zero_if(&ChaosSchedule::net_latency_jitter_s);
+  zero_if(&ChaosSchedule::stale_max_age_s);
+  zero_if(&ChaosSchedule::load_report_interval_s);
+  moves.push_back([](ChaosSchedule& c) {
+    if (c.shed_policy == "none" && c.deadline_static_s == 0.0 &&
+        c.deadline_dynamic_s == 0.0 && c.overload_retries == 0 &&
+        !c.breakers && !c.degraded_mode)
+      return false;
+    c.shed_policy = "none";
+    c.deadline_static_s = 0.0;
+    c.deadline_dynamic_s = 0.0;
+    c.overload_retries = 0;
+    c.breakers = false;
+    c.degraded_mode = false;
+    return true;
+  });
+  // Whole-subsystem drops once nothing inside them is left.
+  moves.push_back([](ChaosSchedule& c) {
+    if (!c.net || !c.partitions.empty()) return false;
+    c.net = false;
+    return true;
+  });
+  moves.push_back([](ChaosSchedule& c) {
+    if (!c.fault || !c.crashes.empty() || c.crash_mttf_s != 0.0 ||
+        c.degrade_mttf_s != 0.0 || !c.partitions.empty())
+      return false;
+    c.fault = false;
+    return true;
+  });
+
+  // Numeric reductions (each re-applies across passes until rejected or
+  // at its floor).
+  moves.push_back([](ChaosSchedule& c) {
+    if (c.lambda < 100.0) return false;
+    c.lambda = std::floor(c.lambda / 2.0);
+    return true;
+  });
+  moves.push_back([](ChaosSchedule& c) {
+    const double span = c.horizon_s - c.warmup_s;
+    if (span <= 1.0) return false;
+    double latest = c.warmup_s + 1.0;
+    for (const CrashEpisode& e : c.crashes) {
+      latest = std::max(latest, e.at_s + 0.5);
+      if (e.recover_s > 0.0) latest = std::max(latest, e.recover_s + 0.5);
+    }
+    for (const PartitionWindow& w : c.partitions)
+      latest = std::max(latest, w.until_s + 0.5);
+    const double target =
+        std::max(latest, round3(c.warmup_s + span / 2.0));
+    if (target >= c.horizon_s - 1e-9) return false;
+    c.horizon_s = target;
+    return true;
+  });
+  for (std::size_t i = 0; i < s.partitions.size(); ++i)
+    moves.push_back([i](ChaosSchedule& c) {
+      if (i >= c.partitions.size()) return false;
+      PartitionWindow& w = c.partitions[i];
+      const double dur = w.until_s - w.from_s;
+      if (dur <= 0.1) return false;
+      w.until_s = round3(w.from_s + dur / 2.0);
+      return w.until_s > w.from_s;
+    });
+  return moves;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const ChaosSchedule& failing,
+                    const std::string& invariant, int max_attempts) {
+  ShrinkResult result;
+  result.invariant = invariant;
+  result.attempts = 1;
+  if (!violates(failing, invariant))
+    throw std::invalid_argument(
+        "shrink: the input schedule does not violate '" + invariant + "'");
+  result.schedule = failing;
+
+  bool progressed = true;
+  while (progressed && result.attempts < max_attempts) {
+    progressed = false;
+    // The move list is rebuilt per pass: structural drops change the
+    // index space, and re-running numeric reductions lets them converge.
+    const std::vector<Move> moves = moves_for(result.schedule);
+    for (const Move& move : moves) {
+      if (result.attempts >= max_attempts) break;
+      ChaosSchedule candidate = result.schedule;
+      if (!move(candidate)) continue;
+      ++result.attempts;
+      if (!violates(candidate, invariant)) continue;
+      result.schedule = std::move(candidate);
+      ++result.accepted;
+      progressed = true;
+      break;  // restart the scan from the (new) schedule's move list
+    }
+  }
+  return result;
+}
+
+}  // namespace wsched::check

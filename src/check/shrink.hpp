@@ -1,0 +1,38 @@
+// Schedule shrinking: given a schedule that violates a named invariant,
+// greedily minimize it while the violation still reproduces — the chaos
+// equivalent of QuickCheck shrinking, made exact by the engine's
+// determinism (every candidate replays bit-identically, so "still fails"
+// is a reliable oracle, never a flake).
+//
+// The shrinker is RNG-free and purely greedy: a fixed, ordered candidate
+// list (drop one crash episode, drop one partition window, zero one churn
+// knob, switch off one rider subsystem, halve lambda, shorten the horizon,
+// binary-halve each partition window) is scanned; the first candidate that
+// still violates the same invariant is accepted and the scan restarts.
+// Pure function of (schedule, invariant): the same failing input always
+// shrinks to the byte-identical minimal schedule.
+#pragma once
+
+#include <string>
+
+#include "check/schedule.hpp"
+
+namespace wsched::check {
+
+struct ShrinkResult {
+  /// The minimal schedule found; still violates `invariant` on replay.
+  ChaosSchedule schedule;
+  /// The invariant name the shrink preserved.
+  std::string invariant;
+  int attempts = 0;  ///< candidate replays performed (incl. rejected)
+  int accepted = 0;  ///< shrink steps that kept the violation
+};
+
+/// Minimizes `failing` while a violation of `invariant` reproduces.
+/// `max_attempts` bounds the number of candidate replays (each one is a
+/// full simulation). Throws std::invalid_argument when `failing` does not
+/// violate `invariant` in the first place.
+ShrinkResult shrink(const ChaosSchedule& failing,
+                    const std::string& invariant, int max_attempts = 160);
+
+}  // namespace wsched::check

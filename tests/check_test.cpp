@@ -1,0 +1,301 @@
+// Tests for the chaos-search subsystem (src/check/): the strict JSON
+// reader, the schedule generator's determinism and validity, JSON
+// round-tripping, the invariant registry, replay determinism, the
+// shrinker's contract (determinism + monotonicity), the planted-bug
+// drill (--net-quorum=off must yield a findable, shrinkable split-brain
+// repro), and replay of the committed corpus under tests/chaos_corpus/.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "check/json.hpp"
+#include "check/runner.hpp"
+#include "check/schedule.hpp"
+#include "check/shrink.hpp"
+#include "core/experiment.hpp"
+
+namespace wsched::check {
+namespace {
+
+// --- JSON reader --------------------------------------------------------
+
+TEST(Json, ParsesScalarsAndContainers) {
+  const JsonValue v = parse_json(
+      R"({"a": 1.5, "b": true, "c": null, "d": "x\ny", "e": [1, 2, 3]})");
+  ASSERT_TRUE(v.is(JsonValue::Kind::kObject));
+  EXPECT_DOUBLE_EQ(v.get_number("a", 0.0), 1.5);
+  EXPECT_TRUE(v.get_bool("b", false));
+  const JsonValue* c = v.find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->is(JsonValue::Kind::kNull));
+  EXPECT_EQ(v.get_string("d", ""), "x\ny");
+  const JsonValue* e = v.find("e");
+  ASSERT_NE(e, nullptr);
+  ASSERT_TRUE(e->is(JsonValue::Kind::kArray));
+  EXPECT_EQ(e->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(e->array[1].number, 2.0);
+}
+
+TEST(Json, MissingMemberFallsBack) {
+  const JsonValue v = parse_json(R"({"a": 1})");
+  EXPECT_EQ(v.find("zzz"), nullptr);
+  EXPECT_DOUBLE_EQ(v.get_number("zzz", -7.0), -7.0);
+  EXPECT_EQ(v.get_string("zzz", "dflt"), "dflt");
+}
+
+TEST(Json, WrongKindThrows) {
+  const JsonValue v = parse_json(R"({"a": "str"})");
+  EXPECT_THROW(v.get_number("a", 0.0), std::invalid_argument);
+}
+
+TEST(Json, MalformedInputThrows) {
+  EXPECT_THROW(parse_json("{"), std::invalid_argument);
+  EXPECT_THROW(parse_json("{\"a\": }"), std::invalid_argument);
+  EXPECT_THROW(parse_json("[1, 2,]"), std::invalid_argument);
+  EXPECT_THROW(parse_json("{} trailing"), std::invalid_argument);
+  EXPECT_THROW(parse_json("nul"), std::invalid_argument);
+}
+
+TEST(Json, UnicodeEscapeDecodesToUtf8) {
+  const JsonValue v = parse_json(R"({"s": "éA"})");
+  EXPECT_EQ(v.get_string("s", ""), "\xc3\xa9"
+                                   "A");
+}
+
+// --- Schedule generator -------------------------------------------------
+
+TEST(Generator, SameSeedIsByteIdentical) {
+  const ChaosGenConfig cfg = ChaosGenConfig::quick();
+  for (std::uint64_t seed : {1ull, 17ull, 9000ull}) {
+    const std::string a = to_json(generate_schedule(seed, cfg));
+    const std::string b = to_json(generate_schedule(seed, cfg));
+    EXPECT_EQ(a, b) << "seed " << seed;
+  }
+}
+
+TEST(Generator, DistinctSeedsDiffer) {
+  const ChaosGenConfig cfg = ChaosGenConfig::quick();
+  EXPECT_NE(to_json(generate_schedule(1, cfg)),
+            to_json(generate_schedule(2, cfg)));
+}
+
+TEST(Generator, EverySampledScheduleValidates) {
+  // The composition rules (autoscale x faults exclusive, partitions only
+  // with net + faults, bounds on every knob) must hold by construction
+  // for every seed, not just the ones CI happens to run.
+  const ChaosGenConfig cfg = ChaosGenConfig::quick();
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const ChaosSchedule s = generate_schedule(seed, cfg);
+    EXPECT_EQ(validate(s), "") << "seed " << seed;
+    EXPECT_FALSE(s.autoscale && s.fault) << "seed " << seed;
+    if (!s.partitions.empty()) {
+      EXPECT_TRUE(s.net && s.fault) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Generator, CoversTheFaultAndAutoscaleBranches) {
+  const ChaosGenConfig cfg = ChaosGenConfig::quick();
+  int faulty = 0, scaling = 0, partitioned = 0, hedged = 0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const ChaosSchedule s = generate_schedule(seed, cfg);
+    faulty += s.fault;
+    scaling += s.autoscale;
+    partitioned += !s.partitions.empty();
+    hedged += s.hedge;
+  }
+  EXPECT_GT(faulty, 40);
+  EXPECT_GT(scaling, 5);
+  EXPECT_GT(partitioned, 10);
+  EXPECT_GT(hedged, 10);
+}
+
+TEST(Schedule, JsonRoundTripIsByteIdentical) {
+  const ChaosGenConfig cfg = ChaosGenConfig::quick();
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const std::string a = to_json(generate_schedule(seed, cfg));
+    const std::string b = to_json(schedule_from_json(a));
+    EXPECT_EQ(a, b) << "seed " << seed;
+  }
+}
+
+TEST(Schedule, FromJsonRejectsWrongFormat) {
+  EXPECT_THROW(schedule_from_json(R"({"format": "other", "version": 1})"),
+               std::invalid_argument);
+  EXPECT_THROW(schedule_from_json(
+                   R"({"format": "wsched-chaos-schedule", "version": 99})"),
+               std::invalid_argument);
+}
+
+TEST(Schedule, ValidateCatchesIllegalCompositions) {
+  ChaosSchedule s;
+  s.autoscale = true;
+  s.ctrl = true;
+  s.fault = true;
+  EXPECT_NE(validate(s), "");
+
+  ChaosSchedule part;
+  part.partitions.push_back({1.0, 2.0, 2});
+  EXPECT_NE(validate(part), "");  // partitions need net + fault
+
+  ChaosSchedule lam;
+  lam.lambda = 0.0;
+  EXPECT_NE(validate(lam), "");
+}
+
+// --- Invariant registry -------------------------------------------------
+
+TEST(Registry, CatalogNamesAreStable) {
+  const std::vector<std::string> names = InvariantRegistry::builtin().names();
+  for (const char* expected :
+       {"ledger-closure", "no-split-brain", "powered-floor", "span-closure",
+        "theta-feasible", "monotone-time", "hedge-accounting",
+        "energy-accounting"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(Registry, CleanRunPassesAllApplicableInvariants) {
+  core::ExperimentSpec spec;
+  spec.profile = trace::ksu_profile();
+  spec.p = 6;
+  spec.m = 2;
+  spec.lambda = 200;
+  spec.r = 1.0 / 40.0;
+  spec.duration_s = 3.0;
+  spec.warmup_s = 1.0;
+  spec.kind = core::SchedulerKind::kMs;
+  const core::ExperimentResult result = core::run_experiment(spec);
+  const InvariantReport report = InvariantRegistry::builtin().check(spec, result);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GE(report.checked.size(), 4u);
+}
+
+TEST(Registry, RowLedgerHelperMatchesArithmetic) {
+  harness::ResultRow closed;
+  closed.set("submitted", 100.0);
+  closed.set("completed_total", 97.0);
+  closed.set("timeouts", 2.0);
+  closed.set("shed", 1.0);
+  closed.set("abandoned", 0.0);
+  EXPECT_TRUE(InvariantRegistry::row_ledger_closed(closed));
+
+  harness::ResultRow leak = closed;
+  leak.set("completed_total", 96.0);
+  EXPECT_FALSE(InvariantRegistry::row_ledger_closed(leak));
+
+  // Rows without ledger columns (foreign sweeps) are vacuously closed.
+  harness::ResultRow bare;
+  bare.set("stretch", 1.5);
+  EXPECT_TRUE(InvariantRegistry::row_ledger_closed(bare));
+}
+
+// --- Replay determinism -------------------------------------------------
+
+TEST(Runner, SameScheduleYieldsSameArtifactHash) {
+  const ChaosSchedule s = generate_schedule(13, ChaosGenConfig::quick());
+  const ChaosOutcome a = run_schedule(s);
+  const ChaosOutcome b = run_schedule(s);
+  ASSERT_TRUE(a.ok()) << a.report.to_string() << a.error;
+  EXPECT_EQ(a.artifact_hash, b.artifact_hash);
+  EXPECT_NE(a.artifact_hash, 0u);
+}
+
+TEST(Runner, Fnv1aMatchesReferenceVectors) {
+  // Standard FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a(""), 14695981039346656037ull);
+  EXPECT_EQ(fnv1a("a"), 12638187200555641996ull);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ull);
+}
+
+// --- Planted-bug drill + shrinker ---------------------------------------
+
+// Scan seeds with the quorum gate forced off until the registry reports a
+// split-brain; the chaos search must find the planted bug within a small
+// seed budget or the whole approach is not pulling its weight.
+ChaosSchedule find_split_brain_repro() {
+  const ChaosGenConfig cfg = ChaosGenConfig::quick();
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    ChaosSchedule s = generate_schedule(seed, cfg);
+    if (!s.net || !s.fault) continue;
+    s.quorum = false;  // the planted bug
+    const ChaosOutcome outcome = run_schedule(s);
+    for (const Violation& v : outcome.report.violations)
+      if (v.invariant == "no-split-brain") return s;
+  }
+  return ChaosSchedule{};  // sentinel: lambda stays default, caller asserts
+}
+
+TEST(Shrink, PlantedQuorumBugIsFoundAndShrunk) {
+  const ChaosSchedule failing = find_split_brain_repro();
+  ASSERT_TRUE(failing.net && !failing.quorum)
+      << "no split-brain found in 64 quorum-off seeds";
+
+  const ShrinkResult min = shrink(failing, "no-split-brain");
+  EXPECT_EQ(min.invariant, "no-split-brain");
+  EXPECT_GT(min.attempts, 0);
+
+  // Monotonicity: the minimized schedule still validates and still
+  // violates the same invariant.
+  EXPECT_EQ(validate(min.schedule), "");
+  const ChaosOutcome outcome = run_schedule(min.schedule);
+  bool still_violates = false;
+  for (const Violation& v : outcome.report.violations)
+    still_violates |= v.invariant == "no-split-brain";
+  EXPECT_TRUE(still_violates) << outcome.report.to_string();
+
+  // The shrinker only ever removes chaos, never adds it.
+  EXPECT_LE(min.schedule.crashes.size(), failing.crashes.size());
+  EXPECT_LE(min.schedule.partitions.size(), failing.partitions.size());
+  EXPECT_LE(min.schedule.lambda, failing.lambda + 1e-9);
+  EXPECT_LE(min.schedule.horizon_s, failing.horizon_s + 1e-9);
+  // A split-brain needs a partition; the shrinker must keep at least one.
+  EXPECT_GE(min.schedule.partitions.size(), 1u);
+}
+
+TEST(Shrink, DeterministicMinimalSchedule) {
+  const ChaosSchedule failing = find_split_brain_repro();
+  ASSERT_TRUE(failing.net && !failing.quorum);
+  const ShrinkResult a = shrink(failing, "no-split-brain");
+  const ShrinkResult b = shrink(failing, "no-split-brain");
+  EXPECT_EQ(to_json(a.schedule), to_json(b.schedule));
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.accepted, b.accepted);
+}
+
+TEST(Shrink, RejectsNonFailingInput) {
+  const ChaosSchedule green = generate_schedule(13, ChaosGenConfig::quick());
+  EXPECT_THROW(shrink(green, "no-split-brain"), std::invalid_argument);
+}
+
+// --- Corpus replay ------------------------------------------------------
+
+TEST(Corpus, EveryCommittedScheduleReplaysClean) {
+  const std::filesystem::path dir(WSCHED_CHAOS_CORPUS_DIR);
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  int replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".json") continue;
+    std::ifstream in(entry.path());
+    ASSERT_TRUE(in.good()) << entry.path();
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const ChaosSchedule s = schedule_from_json(buf.str());
+    EXPECT_EQ(validate(s), "") << entry.path();
+    const ChaosOutcome outcome = run_schedule(s);
+    EXPECT_TRUE(outcome.ok())
+        << entry.path() << ": " << outcome.report.to_string() << outcome.error;
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 5) << "corpus went missing";
+}
+
+}  // namespace
+}  // namespace wsched::check

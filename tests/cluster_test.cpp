@@ -296,6 +296,47 @@ TEST(Hedge, NoDoubleCountingUnderLossyNetwork) {
   EXPECT_EQ(r.completed + r.timeouts + r.shed + r.abandoned, r.submitted);
 }
 
+TEST(Hedge, LedgerClosesWhenLoserCrashesDuringPartition) {
+  // The hostile composition pinned by the chaos audit: hedging armed over
+  // a cluster where nodes crash while a partition is open. The hedge
+  // loser can die before the winner's cancel lands (Node::cancel on a
+  // dead node must report no removal), copies can evaporate with their
+  // node while the primary sits on the wrong side of the cut, and the
+  // wire can eat either side's dispatch. Whatever the interleaving, each
+  // request settles exactly once and the ledger closes to the request.
+  auto spec = [] {
+    ExperimentSpec s = hedge_spec(7);
+    s.duration_s = 8.0;
+    s.fault.mttf_s = 4.0;  // aggressive churn: copy-holders die mid-flight
+    s.fault.mttr_s = 1.5;
+    s.net.enabled = true;
+    s.net.loss = 0.02;
+    net::PartitionSpec window;
+    window.from = from_seconds(2.0);
+    window.until = from_seconds(5.0);
+    window.groups = {{0, 2, 3, 4, 5}, {1, 6, 7}};
+    s.net.partitions.push_back(window);
+    return s;
+  };
+  const ExperimentResult result = run_experiment(spec());
+  const RunResult& r = result.run;
+  // The scenario actually composed: hedges fired, nodes crashed, the
+  // partition opened.
+  EXPECT_GT(r.hedges_launched, 0u);
+  EXPECT_GT(r.node_crashes, 0u);
+  EXPECT_GE(r.net_partitions, 1u);
+  // A cancellation is only counted when it removed a live process; a
+  // loser that crashed first must neither count nor double-settle.
+  EXPECT_LE(r.hedge_cancellations, r.hedges_launched);
+  EXPECT_LE(r.hedge_wins, r.hedges_launched);
+  EXPECT_EQ(r.completed + r.timeouts + r.shed + r.abandoned, r.submitted);
+  // And the whole interleaving is reproducible bit-for-bit.
+  const ExperimentResult again = run_experiment(spec());
+  EXPECT_EQ(again.run.hedges_launched, r.hedges_launched);
+  EXPECT_EQ(again.run.hedge_cancellations, r.hedge_cancellations);
+  EXPECT_EQ(again.run.events, r.events);
+}
+
 TEST(Hedge, ReducesTailUnderLimpingNodes) {
   // The point of the whole mechanism: against the same limping cluster,
   // hedging must not make the tail worse — and with the watchdog it
